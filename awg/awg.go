@@ -1,0 +1,219 @@
+// Package awg is the public API of the AWG simulator, a reproduction of
+// "Independent Forward Progress of Work-groups" (Duțu et al., ISCA 2020).
+//
+// It composes the internal substrates — discrete-event engine, memory
+// hierarchy, GPU execution model, SyncMon, Command Processor — into single
+// simulation runs:
+//
+//	res, err := awg.Run(awg.Config{Benchmark: "SPM_G", Policy: "AWG"})
+//
+// runs the global-scope spin-mutex benchmark under the Autonomous
+// Work-Groups architecture on the paper's Table 1 machine and reports
+// runtime, scheduling activity, and synchronization characterization.
+// Setting Oversubscribe reproduces the paper's dynamic resource-loss
+// experiment: one CU is preempted away 50 µs into the kernel.
+package awg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"awgsim/internal/event"
+	"awgsim/internal/gpu"
+	"awgsim/internal/kernels"
+	"awgsim/internal/mem"
+	"awgsim/internal/metrics"
+	"awgsim/internal/policy"
+)
+
+// Result re-exports the run result type.
+type Result = metrics.Result
+
+// Config describes one simulation run. Zero-valued fields take the paper's
+// baseline (Table 1 machine, 32 WGs of 64 work-items, default policy
+// parameters).
+type Config struct {
+	// Benchmark names the kernel: one of Benchmarks().
+	Benchmark string
+	// Policy names the scheduling architecture: one of Policies(), or a
+	// parameterized form such as "Sleep-16k" / "Timeout-50k".
+	Policy string
+
+	// GPU/Mem override the Table 1 machine when non-zero.
+	GPU gpu.Config
+	Mem mem.Config
+
+	// Params override the launch shape when NumWGs is non-zero. Groups and
+	// WGs-per-group must match the machine (Groups = NumCUs, WGsPerGroup =
+	// MaxWGsPerCU) for the local-scope benchmarks to be meaningful.
+	Params kernels.Params
+
+	// Oversubscribe enables the dynamic resource-loss experiment: one CU is
+	// preempted at PreemptAt (default 100k cycles = 50 µs at 2 GHz).
+	Oversubscribe bool
+	PreemptAt     event.Cycle
+
+	// SkipVerify disables the post-run functional validation (used only by
+	// experiments that expect a deadlock).
+	SkipVerify bool
+}
+
+// Benchmarks lists the twelve paper benchmarks in figure order.
+func Benchmarks() []string { return kernels.All() }
+
+// AppBenchmarks lists the application workloads (hash table, bank account).
+func AppBenchmarks() []string { return kernels.Apps() }
+
+// ExtensionBenchmarks lists the primitives added beyond the paper's suite
+// (counting semaphore, reader-writer lock).
+func ExtensionBenchmarks() []string { return kernels.Extensions() }
+
+// Policies lists the canonical policy names in the paper's design-space
+// order.
+func Policies() []string {
+	return []string{
+		"Baseline", "Sleep", "Timeout",
+		"MonRS-All", "MonR-All", "MonNR-All", "MonNR-One",
+		"AWG", "MinResume",
+	}
+}
+
+// NewPolicy builds a scheduling policy from its name. Sleep and Timeout
+// accept an interval suffix in thousands of cycles: "Sleep-16k",
+// "Timeout-50k". Bare "Sleep" and "Timeout" use 16k and 20k respectively.
+func NewPolicy(name string) (gpu.Policy, error) {
+	switch name {
+	case "Baseline":
+		return policy.NewBaseline(), nil
+	case "Sleep":
+		return policy.NewSleep(name, 16_000), nil
+	case "Timeout":
+		return policy.NewTimeout(name, 20_000), nil
+	case "MonRS-All":
+		return policy.NewMonRSAll(), nil
+	case "MonR-All":
+		return policy.NewMonRAll(), nil
+	case "MonNR-All":
+		return policy.NewMonNRAll(), nil
+	case "MonNR-One":
+		return policy.NewMonNROne(), nil
+	case "AWG":
+		return policy.NewAWG(), nil
+	case "MinResume":
+		return policy.NewMinResume(), nil
+	case "AWG-nostall":
+		return policy.NewAWGNoStallPredict(), nil
+	case "AWG-nopredict":
+		return policy.NewAWGNoResumePredict(), nil
+	case "AWG-nocache":
+		// AWG with the SyncMon condition cache disabled: every waiting
+		// condition virtualizes through the Monitor Log and the CP — the
+		// configuration Figure 13 sizes the CP structures under.
+		return policy.NewAWGNoCache(), nil
+	}
+	if k, ok := strings.CutPrefix(name, "Sleep-"); ok {
+		iv, err := parseK(k)
+		if err != nil {
+			return nil, fmt.Errorf("awg: bad sleep interval %q: %w", name, err)
+		}
+		return policy.NewSleep(name, iv), nil
+	}
+	if k, ok := strings.CutPrefix(name, "Timeout-"); ok {
+		iv, err := parseK(k)
+		if err != nil {
+			return nil, fmt.Errorf("awg: bad timeout interval %q: %w", name, err)
+		}
+		return policy.NewTimeout(name, iv), nil
+	}
+	return nil, fmt.Errorf("awg: unknown policy %q", name)
+}
+
+// parseK parses "16k" or "500" into cycles.
+func parseK(s string) (event.Cycle, error) {
+	mult := event.Cycle(1)
+	if k, ok := strings.CutSuffix(s, "k"); ok {
+		mult = 1000
+		s = k
+	}
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("zero interval")
+	}
+	return event.Cycle(n) * mult, nil
+}
+
+// fill derives defaults.
+func (c *Config) fill() error {
+	if c.Benchmark == "" {
+		return fmt.Errorf("awg: no benchmark named")
+	}
+	if c.Policy == "" {
+		return fmt.Errorf("awg: no policy named")
+	}
+	if c.GPU.NumCUs == 0 {
+		c.GPU = gpu.DefaultConfig()
+	}
+	if c.Mem.LineSize == 0 {
+		c.Mem = mem.DefaultConfig()
+	}
+	if c.Params.NumWGs == 0 {
+		c.Params = kernels.DefaultParams()
+		c.Params.Groups = c.GPU.NumCUs
+		c.Params.NumWGs = c.GPU.NumCUs * c.GPU.MaxWGsPerCU
+	}
+	if c.PreemptAt == 0 {
+		c.PreemptAt = 100_000 // 50 µs at 2 GHz
+	}
+	return nil
+}
+
+// Run executes one simulation and returns its result. Unless SkipVerify is
+// set, a completed run is functionally validated (lock counts, conserved
+// balances, barrier epochs); a validation failure is returned as an error.
+// A deadlocked run is not an error — Result.Deadlocked reports it.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.fill(); err != nil {
+		return Result{}, err
+	}
+	bench, err := kernels.Build(cfg.Benchmark, cfg.Params)
+	if err != nil {
+		return Result{}, err
+	}
+	pol, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := gpu.NewMachine(cfg.GPU, cfg.Mem, &bench.Spec, pol)
+	if err != nil {
+		return Result{}, err
+	}
+	if bench.Init != nil {
+		bench.Init(m.Mem().Write)
+	}
+	if cfg.Oversubscribe {
+		last := gpu.CUID(cfg.GPU.NumCUs - 1)
+		m.Engine().At(cfg.PreemptAt, func() { m.PreemptCU(last) })
+	}
+	res := m.Run()
+	if !res.Deadlocked && !cfg.SkipVerify && bench.Verify != nil {
+		if verr := bench.Verify(m.Mem().Read); verr != nil {
+			return res, fmt.Errorf("awg: %s under %s completed but failed validation: %w",
+				cfg.Benchmark, cfg.Policy, verr)
+		}
+	}
+	return res, nil
+}
+
+// MustRun is Run, panicking on configuration or validation errors; it keeps
+// example code terse.
+func MustRun(cfg Config) Result {
+	res, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,65 @@
+// Command awgexp regenerates the paper's tables and figures from fresh
+// simulations and prints each as an aligned text table.
+//
+// Usage:
+//
+//	awgexp                # everything, full scale (minutes)
+//	awgexp -quick         # everything, reduced scale (seconds)
+//	awgexp -exp fig14     # one experiment
+//	awgexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"awgsim/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "single experiment id (table1, table2, fig5..fig15); empty = all")
+		quick = flag.Bool("quick", false, "reduced launches: shapes only, runs in seconds")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick}
+	run := experiments.All()
+	if *exp != "" {
+		e, err := experiments.Get(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "awgexp:", err)
+			os.Exit(1)
+		}
+		run = []experiments.Experiment{e}
+	}
+
+	for _, e := range run {
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "awgexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
+		if e.ID == "fig6" {
+			if tl, err := experiments.Fig6Timelines(opts); err == nil {
+				fmt.Println(tl)
+			}
+		}
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if *exp == "" {
+		fmt.Println(experiments.HardwareOverhead().String())
+	}
+}

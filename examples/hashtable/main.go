@@ -1,0 +1,47 @@
+// Hashtable: a concurrent hash-table workload (one of the Table 2 caption
+// applications) built on the repository's synchronization primitives: work-
+// groups insert keys into buckets guarded by per-bucket spin mutexes.
+// Compares the scheduling policies on the same kernel.
+//
+//	go run ./examples/hashtable
+package main
+
+import (
+	"fmt"
+
+	"awgsim/awg"
+	"awgsim/internal/kernels"
+)
+
+func main() {
+	fmt.Println("Concurrent hash table under four schedulers")
+	fmt.Println("===========================================")
+	fmt.Println()
+
+	params := kernels.DefaultParams()
+	params.Iters = 16 // insertions per WG
+
+	fmt.Printf("%d work-groups insert %d keys each into 16 bucket-locked chains.\n",
+		params.NumWGs, params.Iters)
+	fmt.Println("Every run is functionally validated: the table must hold exactly")
+	fmt.Printf("%d insertions afterwards, whatever the scheduler did.\n", params.NumWGs*params.Iters)
+	fmt.Println()
+
+	var base awg.Result
+	for i, policy := range []string{"Baseline", "Timeout", "MonNR-One", "AWG"} {
+		res, err := awg.Run(awg.Config{Benchmark: "HashTable", Policy: policy, Params: params})
+		if err != nil {
+			fmt.Printf("%-10s FAILED VALIDATION: %v\n", policy, err)
+			continue
+		}
+		if i == 0 {
+			base = res
+		}
+		fmt.Printf("%-10s %9d cycles  %8d atomics  speedup %.2fx\n",
+			policy, res.Cycles, res.Atomics, res.Speedup(base))
+	}
+	fmt.Println()
+	fmt.Println("Bucket locks are moderately contended (16 buckets, many WGs), so the")
+	fmt.Println("monitor policies win by parking waiters instead of polling — and the")
+	fmt.Println("resume-one discipline hands each bucket to exactly one inserter.")
+}

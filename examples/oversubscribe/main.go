@@ -1,0 +1,63 @@
+// Oversubscribe: reproduce the paper's dynamic resource-loss experiment on
+// one benchmark. A compute unit is preempted away 50 µs into the kernel —
+// the busy-waiting baseline deadlocks (its waiters can never release their
+// resources for the evicted work-groups), while the IFP-providing policies
+// finish.
+//
+//	go run ./examples/oversubscribe
+package main
+
+import (
+	"fmt"
+
+	"awgsim/awg"
+	"awgsim/internal/kernels"
+)
+
+func main() {
+	fmt.Println("Dynamic resource loss (Figure 15's scenario)")
+	fmt.Println("============================================")
+	fmt.Println()
+	fmt.Println("Kernel: TB_LG, a two-level tree barrier across 192 work-groups.")
+	fmt.Println("At 50 us, one of the 8 CUs is preempted for a higher-priority task;")
+	fmt.Println("its 24 resident work-groups are context-switched out by the kernel-")
+	fmt.Println("level scheduler and must wait for execution resources.")
+	fmt.Println()
+
+	params := kernels.DefaultParams()
+	params.Iters = 40 // long enough that every policy is mid-kernel at 50 us
+
+	var timeout awg.Result
+	for _, policy := range []string{"Baseline", "Timeout", "MonNR-One", "AWG"} {
+		res, err := awg.Run(awg.Config{
+			Benchmark:     "TB_LG",
+			Policy:        policy,
+			Params:        params,
+			Oversubscribe: true,
+		})
+		if err != nil {
+			fmt.Printf("%-10s error: %v\n", policy, err)
+			continue
+		}
+		switch {
+		case res.Deadlocked:
+			fmt.Printf("%-10s DEADLOCK — %d/%d WGs finished; the barrier waits on WGs\n",
+				policy, res.Completed, params.NumWGs)
+			fmt.Printf("%-10s            that hold no resources and can never get any back\n", "")
+		case policy == "Timeout":
+			timeout = res
+			fmt.Printf("%-10s completed in %d cycles (%d context switches)\n",
+				policy, res.Cycles, res.SwitchesOut)
+		default:
+			fmt.Printf("%-10s completed in %d cycles (%d context switches", policy, res.Cycles, res.SwitchesOut)
+			if timeout.Cycles > 0 {
+				fmt.Printf(", %.1fx vs Timeout", res.Speedup(timeout))
+			}
+			fmt.Println(")")
+		}
+	}
+	fmt.Println()
+	fmt.Println("The cooperative policies survive because waiting work-groups yield")
+	fmt.Println("their resources: the evicted WGs get slots, arrive at the barrier,")
+	fmt.Println("and the SyncMon resumes the waiters.")
+}

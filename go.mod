@@ -1,0 +1,3 @@
+module awgsim
+
+go 1.22

@@ -1,0 +1,234 @@
+// Package cp models the Command Processor firmware extensions of Section
+// V: the CP stays off the critical path, handling only the high-latency,
+// uncommon operations — draining the Monitor Log into a look-up-efficient
+// in-memory table, periodically checking the waiting conditions of spilled
+// synchronization variables, and (through the machine's dispatcher) the
+// context-switch legs of WG scheduling.
+package cp
+
+import (
+	"awgsim/internal/event"
+	"awgsim/internal/gpu"
+	"awgsim/internal/mem"
+	"awgsim/internal/syncmon"
+)
+
+// DrainOrder selects how the CP walks spilled conditions during a check
+// pass. The paper notes the Monitor Log "may contain younger waiting
+// conditions than the SyncMon Cache", creating fairness issues it leaves
+// to future work; these two orders bracket the space.
+type DrainOrder int
+
+const (
+	// OrderFIFO checks conditions oldest-first (drain arrival order).
+	OrderFIFO DrainOrder = iota
+	// OrderRoundRobin rotates the starting point across passes so no
+	// address is persistently checked last.
+	OrderRoundRobin
+)
+
+// Config tunes the firmware's cadence.
+type Config struct {
+	// DrainInterval is how often the CP parses new Monitor Log entries.
+	DrainInterval event.Cycle
+	// CheckInterval is how often the CP re-checks spilled conditions.
+	CheckInterval event.Cycle
+	// DrainBatch bounds entries parsed per drain pass.
+	DrainBatch int
+	// Order selects the check pass's walk order.
+	Order DrainOrder
+}
+
+// DefaultConfig returns a cadence that keeps spilled waiters' extra
+// latency in the tens of microseconds, as a firmware loop would.
+func DefaultConfig() Config {
+	return Config{DrainInterval: 8_000, CheckInterval: 8_000, DrainBatch: 256}
+}
+
+type condKey struct {
+	addr mem.Addr
+	want int64
+	cmp  gpu.Cmp
+}
+
+// Processor is the firmware model. It owns the spilled-condition table;
+// the SyncMon owns the fast path.
+type Processor struct {
+	cfg  Config
+	m    *gpu.Machine
+	log  *syncmon.MonitorLog
+	wake syncmon.WakeFunc
+
+	table   map[condKey][]gpu.WGID
+	order   []condKey // check order (drain arrival order)
+	rotate  int       // round-robin start offset
+	inTable int
+	maxTab  int
+	addrs   map[mem.Addr]int // conditions per monitored address in table
+
+	removed map[condKey]map[gpu.WGID]bool // tombstones from Unregister
+
+	started bool
+	stopped func() bool
+}
+
+// New builds a processor draining log on machine m. wake delivers met
+// conditions to the policy. stopped, if non-nil, lets the owner end the
+// periodic firmware loop (e.g. when the kernel completes).
+func New(cfg Config, m *gpu.Machine, log *syncmon.MonitorLog, wake syncmon.WakeFunc) *Processor {
+	if cfg.DrainInterval == 0 || cfg.CheckInterval == 0 || cfg.DrainBatch <= 0 {
+		panic("cp: bad config")
+	}
+	return &Processor{
+		cfg:     cfg,
+		m:       m,
+		log:     log,
+		wake:    wake,
+		table:   make(map[condKey][]gpu.WGID),
+		removed: make(map[condKey]map[gpu.WGID]bool),
+		addrs:   make(map[mem.Addr]int),
+	}
+}
+
+// Start arms the periodic firmware loops. stopUnless reports whether the
+// loops should keep running (typically "kernel not finished").
+func (p *Processor) Start(keepRunning func() bool) {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.stopped = func() bool { return keepRunning != nil && !keepRunning() }
+	p.m.Engine().After(p.cfg.DrainInterval, p.drainPass)
+	p.m.Engine().After(p.cfg.CheckInterval, p.checkPass)
+}
+
+// TableSize reports current spilled conditions tracked.
+func (p *Processor) TableSize() int { return p.inTable }
+
+// MaxTableSize reports the high-water mark, the "Monitor Table" series of
+// Figure 13.
+func (p *Processor) MaxTableSize() int { return p.maxTab }
+
+// Unregister tombstones a waiter (its policy timeout fired) so a later
+// drain or check does not wake it spuriously.
+func (p *Processor) Unregister(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp) {
+	k := condKey{v.Addr.WordAligned(), want, cmp}
+	if ws, ok := p.table[k]; ok {
+		for i, w := range ws {
+			if w == wg {
+				p.table[k] = append(ws[:i], ws[i+1:]...)
+				p.inTable--
+				if len(p.table[k]) == 0 {
+					delete(p.table, k)
+					p.addrs[k.addr]--
+					if p.addrs[k.addr] == 0 {
+						delete(p.addrs, k.addr)
+					}
+				}
+				return
+			}
+		}
+	}
+	// Not drained yet: remember the tombstone for drain time. (The log's
+	// own Remove handles entries still physically in the ring; this covers
+	// the window where the log was already popped into a drain batch.)
+	if p.removed[k] == nil {
+		p.removed[k] = make(map[gpu.WGID]bool)
+	}
+	p.removed[k][wg] = true
+}
+
+// drainPass moves log entries into the table.
+func (p *Processor) drainPass() {
+	if p.stopped() {
+		return
+	}
+	for i := 0; i < p.cfg.DrainBatch; i++ {
+		e, ok := p.log.Pop()
+		if !ok {
+			break
+		}
+		k := condKey{e.Addr, e.Want, e.Cmp}
+		if p.removed[k][e.WG] {
+			delete(p.removed[k], e.WG)
+			continue
+		}
+		if len(p.table[k]) == 0 {
+			p.addrs[k.addr]++
+			p.order = append(p.order, k)
+		}
+		p.table[k] = append(p.table[k], e.WG)
+		p.inTable++
+		if p.inTable > p.maxTab {
+			p.maxTab = p.inTable
+		}
+		p.noteHighWater()
+	}
+	p.m.Engine().After(p.cfg.DrainInterval, p.drainPass)
+}
+
+// dropCond removes a condition from the table, maintaining the address
+// index and check order.
+func (p *Processor) dropCond(k condKey) {
+	ws := p.table[k]
+	delete(p.table, k)
+	p.inTable -= len(ws)
+	p.addrs[k.addr]--
+	if p.addrs[k.addr] == 0 {
+		delete(p.addrs, k.addr)
+	}
+	for i, o := range p.order {
+		if o == k {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// noteHighWater folds the CP's occupancy into the machine counters — the
+// Figure 13 series: waiting conditions, monitored addresses, waiting WGs,
+// and the monitor table.
+func (p *Processor) noteHighWater() {
+	if len(p.table) > p.m.Count.MaxConditions {
+		p.m.Count.MaxConditions = len(p.table)
+	}
+	if p.inTable > p.m.Count.MaxWaitingWGs {
+		p.m.Count.MaxWaitingWGs = p.inTable
+	}
+	if len(p.addrs) > p.m.Count.MaxMonitoredVars {
+		p.m.Count.MaxMonitoredVars = len(p.addrs)
+	}
+}
+
+// checkPass issues an L2 read per spilled condition and wakes the waiters
+// of conditions that now hold ("asynchronous periodic condition check").
+func (p *Processor) checkPass() {
+	if p.stopped() {
+		return
+	}
+	// Walk in a deterministic order: drain arrival (FIFO) or rotated
+	// round-robin. Map iteration order would break replay determinism.
+	n := len(p.order)
+	start := 0
+	if p.cfg.Order == OrderRoundRobin && n > 0 {
+		start = p.rotate % n
+		p.rotate++
+	}
+	for i := 0; i < n; i++ {
+		k := p.order[(start+i)%n]
+		p.m.IssueAtomic(nil, gpu.GlobalVar(k.addr), gpu.OpLoad, 0, 0, nil, func(v int64) {
+			if !k.cmp.Test(v, k.want) {
+				return
+			}
+			ws, ok := p.table[k]
+			if !ok {
+				return
+			}
+			p.dropCond(k)
+			for _, wg := range ws {
+				p.wake(wg, k.addr, k.want, true)
+			}
+		})
+	}
+	p.m.Engine().After(p.cfg.CheckInterval, p.checkPass)
+}

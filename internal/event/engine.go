@@ -1,0 +1,144 @@
+// Package event implements the deterministic discrete-event engine that
+// drives the GPU timing model.
+//
+// All simulated hardware (compute units, cache banks, the SyncMon, the
+// command processor) advances by scheduling closures at absolute cycle
+// timestamps. Events that share a timestamp fire in scheduling order, so a
+// given (configuration, seed) pair always produces an identical execution —
+// the property every experiment harness and regression test in this
+// repository relies on.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is an absolute simulated-clock timestamp. The baseline GPU model
+// runs at 2 GHz, so one Cycle is 0.5 ns of simulated time.
+type Cycle uint64
+
+// Never is a sentinel timestamp further in the future than any simulation
+// this package is asked to run.
+const Never Cycle = 1<<63 - 1
+
+type scheduled struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduled)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = scheduled{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the GPU model funnels all activity through one goroutine.
+type Engine struct {
+	now       Cycle
+	seq       uint64
+	events    eventHeap
+	executed  uint64
+	stopped   bool
+	watchdogs []func(Cycle)
+}
+
+// New returns an engine positioned at cycle zero with an empty calendar.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Executed reports how many events have fired so far, a cheap progress
+// metric for watchdogs and tests.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are waiting on the calendar.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute cycle at. Scheduling in the past is a
+// programming error in the timing model, so it panics rather than silently
+// reordering time.
+func (e *Engine) At(at Cycle, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("event: scheduling at cycle %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, scheduled{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Cycle, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight event
+// completes. Further events remain on the calendar.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called since the last Run.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step fires the single earliest event. It returns false when the calendar
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(scheduled)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// RunUntil fires events in timestamp order until the calendar drains, the
+// next event lies beyond limit, or Stop is called. It returns the number of
+// events fired.
+func (e *Engine) RunUntil(limit Cycle) uint64 {
+	e.stopped = false
+	start := e.executed
+	for !e.stopped && len(e.events) > 0 {
+		if e.events[0].at > limit {
+			break
+		}
+		e.Step()
+	}
+	return e.executed - start
+}
+
+// Run fires events until the calendar drains or Stop is called.
+func (e *Engine) Run() uint64 {
+	return e.RunUntil(Never)
+}
+
+// NextEventAt reports the timestamp of the earliest pending event, or Never
+// when the calendar is empty.
+func (e *Engine) NextEventAt() Cycle {
+	if len(e.events) == 0 {
+		return Never
+	}
+	return e.events[0].at
+}

@@ -1,0 +1,113 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each Fig*/Table* function runs the required simulations and
+// returns both the raw data and a rendered text table whose rows/series
+// match what the paper reports. The awgexp command prints them; the
+// repository's bench harness wraps each in a testing.B benchmark.
+//
+// Absolute magnitudes differ from the paper (our substrate is a
+// from-scratch timing model, not the authors' gem5 configuration); the
+// shapes — who wins, roughly by how much, where the crossovers fall — are
+// the reproduction target. EXPERIMENTS.md records paper-vs-measured for
+// every experiment.
+package experiments
+
+import (
+	"fmt"
+
+	"awgsim/awg"
+	"awgsim/internal/gpu"
+	"awgsim/internal/kernels"
+	"awgsim/internal/metrics"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Quick shrinks the launches so the whole suite runs in seconds;
+	// used by unit tests and the benchmark harness. Shapes remain, exact
+	// ratios move.
+	Quick bool
+}
+
+// params returns the launch parameters for the configured scale.
+func (o Options) params() kernels.Params {
+	p := kernels.DefaultParams()
+	if o.Quick {
+		cfg := gpu.DefaultConfig()
+		p.NumWGs = cfg.NumCUs * cfg.MaxWGsPerCU / 4
+		p.Iters = 3
+	}
+	return p
+}
+
+// gpuConfig returns the machine for the configured scale: quick mode
+// shrinks the occupancy cap so the launch still exactly fills the GPU.
+func (o Options) gpuConfig() gpu.Config {
+	cfg := gpu.DefaultConfig()
+	if o.Quick {
+		cfg.MaxWGsPerCU /= 4
+	}
+	return cfg
+}
+
+// run executes one simulation with the experiment scale applied.
+func (o Options) run(benchmark, policy string, oversubscribe bool, iters int) (metrics.Result, error) {
+	p := o.params()
+	if iters > 0 {
+		p.Iters = iters
+	}
+	return o.runWith(benchmark, policy, p, oversubscribe)
+}
+
+// runWith executes one simulation with explicit launch parameters.
+func (o Options) runWith(benchmark, policy string, p kernels.Params, oversubscribe bool) (metrics.Result, error) {
+	cfg := awg.Config{
+		Benchmark:     benchmark,
+		Policy:        policy,
+		GPU:           o.gpuConfig(),
+		Params:        p,
+		Oversubscribe: oversubscribe,
+	}
+	if o.Quick {
+		// Scale the preemption instant with the shrunken runs so every
+		// policy is still mid-kernel when the CU disappears.
+		cfg.PreemptAt = 10_000
+	}
+	return awg.Run(cfg)
+}
+
+// Experiment identifies one regenerable artifact.
+type Experiment struct {
+	ID    string // "table1", "fig14", ...
+	Title string
+	Run   func(o Options) (*metrics.Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: baseline GPU model", func(o Options) (*metrics.Table, error) { return Table1(o), nil }},
+		{"table2", "Table 2: benchmark characterization", Table2},
+		{"fig5", "Figure 5: work-group context size", func(o Options) (*metrics.Table, error) { return Fig5(o) }},
+		{"fig6", "Figure 6: policy timeline signatures", Fig6},
+		{"fig7", "Figure 7: exponential backoff (Sleep-Xk) sweep", Fig7},
+		{"fig8", "Figure 8: timeout interval sweep", Fig8},
+		{"fig9", "Figure 9: wait efficiency vs MinResume", Fig9},
+		{"fig11", "Figure 11: WG execution breakdown", Fig11},
+		{"fig13", "Figure 13: CP scheduling structure sizes", Fig13},
+		{"fig14", "Figure 14: non-oversubscribed speedup vs Baseline", Fig14},
+		{"fig15", "Figure 15: oversubscribed speedup vs Timeout", Fig15},
+		{"ablation", "Ablation: AWG predictor/virtualization variants", Ablation},
+		{"priority", "Priority: high-priority kernel injection (Section V.D)", Priority},
+		{"oversweep", "Launch oversubscription sweep (1x/2x/4x capacity)", Oversweep},
+	}
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

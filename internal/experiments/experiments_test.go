@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig13", "fig14", "fig15"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+	if _, err := Get("fig14"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("fig999"); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab := Table1(quick)
+	s := tab.String()
+	for _, want := range []string{"Compute units", "2 GHz", "512 KB", "L1 cache"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tab, err := Table2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 12 {
+		t.Fatalf("Table 2 has %d rows, want 12", tab.Rows())
+	}
+	s := tab.String()
+	// Centralized vs decentralized structure must be visible: SPM_G has one
+	// sync variable plus the exit barrier; SLM_G has on the order of G.
+	if !strings.Contains(s, "SPM_G") || !strings.Contains(s, "SLM_G") {
+		t.Fatalf("Table 2 missing benchmarks:\n%s", s)
+	}
+}
+
+func TestFig5ContextSizes(t *testing.T) {
+	tab, err := Fig5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 14 { // 12 benchmarks + 2 apps
+		t.Fatalf("Fig 5 has %d rows, want 14", tab.Rows())
+	}
+}
+
+func TestFig6Signatures(t *testing.T) {
+	tab, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 8 {
+		t.Fatalf("Fig 6 has %d rows, want 8", tab.Rows())
+	}
+	s := tab.String()
+	if !strings.Contains(s, "AWG") || !strings.Contains(s, "MonRS-All") {
+		t.Fatalf("Fig 6 missing policies:\n%s", s)
+	}
+}
+
+func TestFig9WaitEfficiency(t *testing.T) {
+	tab, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 12 {
+		t.Fatalf("Fig 9 has %d rows, want 12", tab.Rows())
+	}
+}
+
+func TestFig13Structures(t *testing.T) {
+	tab, err := Fig13(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 12 {
+		t.Fatalf("Fig 13 has %d rows, want 12", tab.Rows())
+	}
+}
+
+func TestHardwareOverheadTable(t *testing.T) {
+	s := HardwareOverhead().String()
+	for _, want := range []string{"1024 conditions", "512 entries", "3.18 KB", "1.5 KB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("hardware overhead table missing %q", want)
+		}
+	}
+}

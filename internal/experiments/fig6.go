@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"awgsim/awg"
+	"awgsim/internal/gpu"
+	"awgsim/internal/mem"
+	"awgsim/internal/metrics"
+	"awgsim/internal/trace"
+)
+
+// Fig6 reproduces the timeline-signature comparison as measured per-policy
+// behaviour on a canonical two-phase wait: a producer WG updates a flag a
+// few thousand cycles after consumers start waiting on it. The columns
+// correspond to the annotations in the paper's timelines — how a waiter
+// parks (busy / sleep / stall / context switch), how it is resumed
+// (poll-retry / timer / sporadic notification / checked notification), and
+// what that cost in atomics and wasted resumes.
+func Fig6(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable("Figure 6: policy timeline signatures (producer/consumer episode)",
+		"Policy", "Waits", "Atomics", "Resumes", "WastedResumes", "Timeouts", "Stalls", "CtxSwitches", "Cycles")
+	for _, p := range []string{"Baseline", "Sleep", "Timeout", "MonRS-All", "MonR-All", "MonNR-All", "MonNR-One", "AWG"} {
+		res, err := runProducerConsumer(p)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", p, err)
+		}
+		t.AddRow(p, res.Stalls+res.Resumes, res.Atomics, res.Resumes,
+			res.WastedResumes, res.Timeouts, res.Stalls,
+			res.SwitchesOut+res.SwitchesIn, res.Cycles)
+	}
+	return t, nil
+}
+
+// Fig6Timelines renders measured Figure 6-style timelines (one lane per
+// WG) for three representative policies on the producer/consumer episode:
+// the busy-waiting Baseline (a wall of atomic attempts), MonNR-All (one
+// attempt, stall, one resume) and AWG (resume-one plus timeouts when its
+// prediction is wrong for the one-shot flag).
+func Fig6Timelines(o Options) (string, error) {
+	var b strings.Builder
+	for _, p := range []string{"Baseline", "MonNR-All", "AWG"} {
+		rec := trace.NewRecorder(100_000)
+		if _, err := runProducerConsumerTraced(p, rec); err != nil {
+			return "", fmt.Errorf("fig6 timeline %s: %w", p, err)
+		}
+		fmt.Fprintf(&b, "--- %s ---\n%s\n", p, rec.Timeline(96))
+	}
+	return b.String(), nil
+}
+
+// runProducerConsumer launches one producer WG and a CU's worth of
+// consumers waiting on a flag the producer sets after a delay.
+func runProducerConsumer(policy string) (metrics.Result, error) {
+	return runProducerConsumerTraced(policy, nil)
+}
+
+func runProducerConsumerTraced(policy string, rec *trace.Recorder) (metrics.Result, error) {
+	const flag = mem.Addr(0x8000)
+	cfg := gpu.DefaultConfig()
+	numWGs := cfg.MaxWGsPerCU // one CU's worth: producer + consumers
+	spec := gpu.KernelSpec{
+		Name:       "ProducerConsumer",
+		NumWGs:     numWGs,
+		WIsPerWG:   64,
+		VGPRsPerWI: 8,
+		SGPRsPerWF: 128,
+		Program: func(d gpu.Device) {
+			v := gpu.GlobalVar(flag)
+			if d.ID() == 0 {
+				d.Compute(4000) // consumers wait roughly this long
+				d.AtomicStore(v, 1)
+				return
+			}
+			d.AwaitEq(v, 1)
+		},
+	}
+	pol, err := awg.NewPolicy(policy)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	m, err := gpu.NewMachine(cfg, mem.DefaultConfig(), &spec, pol)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if rec != nil {
+		m.SetTracer(rec)
+	}
+	res := m.Run()
+	if res.Deadlocked {
+		return res, fmt.Errorf("producer/consumer deadlocked under %s", policy)
+	}
+	if got := m.Mem().Read(flag); got != 1 {
+		return res, fmt.Errorf("flag = %d after run", got)
+	}
+	return res, nil
+}

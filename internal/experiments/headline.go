@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"awgsim/internal/kernels"
+	"awgsim/internal/metrics"
+)
+
+// Fig14Policies lists Figure 14's bar series (Baseline is the implicit 1.0
+// bar; Sleep appears only for the backoff-modified SPMBO benchmarks).
+func Fig14Policies() []string {
+	return []string{"Sleep", "Timeout", "MonNR-All", "MonNR-One", "AWG"}
+}
+
+// deadlockMark renders a deadlocked run the way the figure labels it.
+const deadlockMark = "DEADLOCK"
+
+// Fig14 reproduces the headline non-oversubscribed comparison: per-policy
+// speedup over the busy-waiting Baseline on all twelve benchmarks, plus
+// the geometric mean. Expected shape: AWG wins or ties everywhere, large
+// factors on the centralized global-scope mutexes, MonNR-All weak under
+// acquire contention, MonNR-One weak on centralized tree barriers.
+func Fig14(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable("Figure 14: speedup vs Baseline (non-oversubscribed)",
+		append([]string{"Benchmark", "Baseline"}, Fig14Policies()...)...)
+	geo := make(map[string][]float64)
+	for _, b := range kernels.All() {
+		base, err := o.run(b, "Baseline", false, 0)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 %s/Baseline: %w", b, err)
+		}
+		row := []any{b, 1.0}
+		for _, p := range Fig14Policies() {
+			if p == "Sleep" && !isBackoffBench(b) {
+				// Sleep appears only for benchmarks modified to use
+				// exponential backoff with s_sleep.
+				row = append(row, "-")
+				continue
+			}
+			res, err := o.run(b, p, false, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s/%s: %w", b, p, err)
+			}
+			s := res.Speedup(base)
+			geo[p] = append(geo[p], s)
+			row = append(row, s)
+		}
+		t.AddRow(row...)
+	}
+	grow := []any{"GeoMean", 1.0}
+	for _, p := range Fig14Policies() {
+		grow = append(grow, metrics.GeoMean(geo[p]))
+	}
+	t.AddRow(grow...)
+	return t, nil
+}
+
+// Fig15Iters scales the oversubscribed runs up so that every policy is
+// still mid-kernel when the CU is preempted at 50 µs.
+const Fig15Iters = 40
+
+// Fig15 reproduces the oversubscribed comparison: one CU is preempted 50 µs
+// into the kernel, and speedups are normalized to the Timeout policy
+// (Baseline and Sleep hold their resources and deadlock — the figure's
+// DEADLOCK labels). Expected shape: AWG ahead of Timeout and the fixed
+// MonNR strategies on average; prediction helps centralized primitives;
+// stall-time misprediction can cost AWG on latency-sensitive barriers.
+func Fig15(o Options) (*metrics.Table, error) {
+	iters := Fig15Iters
+	if o.Quick {
+		iters = 0 // keep the quick default
+	}
+	t := metrics.NewTable("Figure 15: speedup vs Timeout (oversubscribed, 1 CU preempted at 50us)",
+		"Benchmark", "Baseline", "Sleep", "Timeout", "MonNR-All", "MonNR-One", "AWG")
+	geo := make(map[string][]float64)
+	cell := func(b, p string, base metrics.Result) (any, error) {
+		if p == "Sleep" && !isBackoffBench(b) {
+			return "-", nil
+		}
+		res, err := o.run(b, p, true, iters)
+		if err != nil {
+			return nil, fmt.Errorf("fig15 %s/%s: %w", b, p, err)
+		}
+		if res.Deadlocked {
+			return deadlockMark, nil
+		}
+		s := res.Speedup(base)
+		geo[p] = append(geo[p], s)
+		return s, nil
+	}
+	for _, b := range kernels.All() {
+		base, err := o.run(b, "Timeout", true, iters)
+		if err != nil {
+			return nil, fmt.Errorf("fig15 %s/Timeout: %w", b, err)
+		}
+		row := []any{b}
+		for _, p := range []string{"Baseline", "Sleep"} {
+			c, err := cell(b, p, base)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, c)
+		}
+		row = append(row, 1.0) // the Timeout normalization bar
+		for _, p := range []string{"MonNR-All", "MonNR-One", "AWG"} {
+			c, err := cell(b, p, base)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, c)
+		}
+		t.AddRow(row...)
+	}
+	grow := []any{"GeoMean", "-", "-", 1.0}
+	for _, p := range []string{"MonNR-All", "MonNR-One", "AWG"} {
+		grow = append(grow, metrics.GeoMean(geo[p]))
+	}
+	t.AddRow(grow...)
+	return t, nil
+}
+
+func isBackoffBench(name string) bool {
+	return name == "SPMBO_G" || name == "SPMBO_L"
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"awgsim/internal/metrics"
+)
+
+// Oversweep demonstrates the paper's core portability claim — AWG provides
+// IFP "for an arbitrary number of WGs executing in dynamic resource
+// environments" — by launching the same synchronizing kernels with 1x, 2x
+// and 4x the machine's resident capacity. The busy-waiting Baseline
+// deadlocks the moment the launch exceeds capacity (resident waiters hold
+// every slot; the WGs they wait for are never dispatched); the
+// IFP-providing policies complete at every size, with runtime scaling
+// roughly linearly in the WG count.
+func Oversweep(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable("Launch oversubscription sweep: runtime (cycles) by G/capacity",
+		"Benchmark", "Policy", "1x", "2x", "4x")
+	cap1 := o.gpuConfig().NumCUs * o.gpuConfig().MaxWGsPerCU
+	for _, bench := range []string{"SPM_G", "TB_LG"} {
+		for _, pol := range []string{"Baseline", "Timeout", "MonNR-All", "AWG"} {
+			row := []any{bench, pol}
+			for _, mult := range []int{1, 2, 4} {
+				res, err := o.runScaled(bench, pol, cap1*mult)
+				if err != nil {
+					return nil, fmt.Errorf("oversweep %s/%s %dx: %w", bench, pol, mult, err)
+				}
+				if res.Deadlocked {
+					row = append(row, deadlockMark)
+				} else {
+					row = append(row, res.Cycles)
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// runScaled runs a benchmark with an explicit WG count (which may exceed
+// the machine's resident capacity).
+func (o Options) runScaled(bench, pol string, numWGs int) (metrics.Result, error) {
+	p := o.params()
+	p.NumWGs = numWGs
+	return o.runWith(bench, pol, p, false)
+}

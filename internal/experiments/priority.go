@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"awgsim/awg"
+	"awgsim/internal/event"
+	"awgsim/internal/gpu"
+	"awgsim/internal/kernels"
+	"awgsim/internal/mem"
+	"awgsim/internal/metrics"
+)
+
+// Priority reproduces the benefit the paper claims in Section V.D
+// ("Reducing interference with kernel scheduling"): a high-priority
+// compute kernel arrives mid-run and preempts resident work-groups of a
+// lower-priority synchronizing kernel. The experiment reports, per
+// scheduling policy, the high-priority kernel's launch-to-finish latency
+// and the slowdown it inflicts on the low-priority kernel, against that
+// kernel's run with no injection.
+//
+// The mechanism under test: under AWG the low-priority kernel's waiting
+// WGs are parked (stalled or switched out), so the kernel-level scheduler
+// evicts WGs that were not making progress anyway; under busy-waiting
+// every WG looks busy and the eviction can hit the critical-section
+// holder, stalling the whole kernel for the high-priority kernel's
+// entire residence.
+func Priority(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable("Priority injection: HP latency and LP overhead per policy",
+		"Benchmark", "Policy", "LPalone", "LPwithHP", "LPoverhead", "HPlatency")
+	injectAt := event.Cycle(50_000)
+	if o.Quick {
+		injectAt = 5_000
+	}
+	for _, bench := range []string{"SPM_G", "TB_LG"} {
+		for _, pol := range []string{"Baseline", "Timeout", "MonNR-All", "AWG"} {
+			alone, err := o.run(bench, pol, false, priorityIters(o))
+			if err != nil {
+				return nil, fmt.Errorf("priority %s/%s alone: %w", bench, pol, err)
+			}
+			lp, hpLatency, err := o.runWithInjection(bench, pol, injectAt)
+			if err != nil {
+				return nil, fmt.Errorf("priority %s/%s injected: %w", bench, pol, err)
+			}
+			overhead := "-"
+			if alone.Cycles > 0 && !lp.Deadlocked {
+				overhead = fmt.Sprintf("%.2fx", float64(lp.Cycles)/float64(alone.Cycles))
+			}
+			lpCell := any(lp.Cycles)
+			if lp.Deadlocked {
+				lpCell = deadlockMark
+			}
+			t.AddRow(bench, pol, alone.Cycles, lpCell, overhead, hpLatency)
+		}
+	}
+	return t, nil
+}
+
+func priorityIters(o Options) int {
+	if o.Quick {
+		return 0
+	}
+	return 25 // long enough that the injection lands mid-kernel
+}
+
+// runWithInjection runs the benchmark with a high-priority compute kernel
+// (one CU's worth of WGs, ~20k cycles each) injected at injectAt.
+func (o Options) runWithInjection(bench, pol string, injectAt event.Cycle) (metrics.Result, uint64, error) {
+	p := o.params()
+	if it := priorityIters(o); it > 0 {
+		p.Iters = it
+	}
+	b, err := kernels.Build(bench, p)
+	if err != nil {
+		return metrics.Result{}, 0, err
+	}
+	policy, err := awg.NewPolicy(pol)
+	if err != nil {
+		return metrics.Result{}, 0, err
+	}
+	cfg := o.gpuConfig()
+	m, err := gpu.NewMachine(cfg, mem.DefaultConfig(), &b.Spec, policy)
+	if err != nil {
+		return metrics.Result{}, 0, err
+	}
+	if b.Init != nil {
+		b.Init(m.Mem().Write)
+	}
+	hpWork := event.Cycle(20_000)
+	if o.Quick {
+		hpWork = 4_000
+	}
+	hp := &gpu.KernelSpec{
+		Name:       "HighPriority",
+		NumWGs:     cfg.MaxWGsPerCU, // one CU's worth
+		WIsPerWG:   64,
+		VGPRsPerWI: 8,
+		SGPRsPerWF: 128,
+		Program:    func(d gpu.Device) { d.Compute(hpWork) },
+	}
+	h, err := m.InjectKernel(hp, injectAt, 1)
+	if err != nil {
+		return metrics.Result{}, 0, err
+	}
+	res := m.Run()
+	if !res.Deadlocked && b.Verify != nil {
+		if verr := b.Verify(m.Mem().Read); verr != nil {
+			return res, 0, fmt.Errorf("validation after injection: %w", verr)
+		}
+	}
+	return res, h.Latency(), nil
+}

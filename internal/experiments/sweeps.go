@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"awgsim/internal/kernels"
+	"awgsim/internal/metrics"
+)
+
+// Fig7Benchmarks lists the six benchmarks the paper modified to use
+// exponential backoff with s_sleep.
+func Fig7Benchmarks() []string {
+	return []string{"SPM_G", "FAM_G", "SPM_L", "FAM_L", "TB_LG", "TBEX_LG"}
+}
+
+// Fig7Intervals lists the maximum backoff intervals of the Sleep-Xk sweep.
+func Fig7Intervals() []string {
+	return []string{"1k", "2k", "4k", "8k", "16k", "32k", "64k", "128k", "256k"}
+}
+
+// Fig7 reproduces the exponential-backoff sweep: runtime of Sleep-Xk for
+// X in 1k..256k, normalized to the busy-waiting Baseline, on the six
+// modified benchmarks. The paper's findings to match: backoff improves on
+// busy waiting up to a point, over-sleeping becomes counterproductive, and
+// no single interval is best everywhere.
+func Fig7(o Options) (*metrics.Table, error) {
+	cols := append([]string{"Benchmark", "Baseline"}, prefixAll("Sleep-", Fig7Intervals())...)
+	t := metrics.NewTable("Figure 7: Sleep-Xk runtime normalized to Baseline", cols...)
+	for _, b := range Fig7Benchmarks() {
+		base, err := o.run(b, "Baseline", false, 0)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", b, err)
+		}
+		row := []any{b, 1.0}
+		for _, iv := range Fig7Intervals() {
+			res, err := o.run(b, "Sleep-"+iv, false, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s/Sleep-%s: %w", b, iv, err)
+			}
+			row = append(row, res.NormalizedRuntime(base))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig8Intervals lists the timeout intervals of Figure 8.
+func Fig8Intervals() []string { return []string{"1k", "5k", "10k", "20k", "50k", "100k"} }
+
+// Fig8 reproduces the timeout-interval sweep: runtime of Timeout-Xk
+// normalized to Baseline across all twelve benchmarks. Expected shape:
+// different primitives prefer different intervals, and some intervals are
+// much worse than busy waiting.
+func Fig8(o Options) (*metrics.Table, error) {
+	cols := append([]string{"Benchmark", "Baseline"}, prefixAll("Timeout-", Fig8Intervals())...)
+	t := metrics.NewTable("Figure 8: Timeout-Xk runtime normalized to Baseline", cols...)
+	for _, b := range kernels.All() {
+		base, err := o.run(b, "Baseline", false, 0)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", b, err)
+		}
+		row := []any{b, 1.0}
+		for _, iv := range Fig8Intervals() {
+			res, err := o.run(b, "Timeout-"+iv, false, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s/Timeout-%s: %w", b, iv, err)
+			}
+			row = append(row, res.NormalizedRuntime(base))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces the wait-efficiency comparison: dynamic atomic
+// instruction counts of the monitor architectures normalized to the
+// MinResume oracle (log scale in the paper). Expected shape: MonRS-All is
+// up to orders of magnitude worse on centralized primitives; MonR-All
+// better; MonNR-All slightly worse than MonR-All (it registers waiters
+// earlier and wakes more of them).
+func Fig9(o Options) (*metrics.Table, error) {
+	pols := []string{"MonRS-All", "MonR-All", "MonNR-All"}
+	t := metrics.NewTable("Figure 9: dynamic atomics normalized to MinResume",
+		"Benchmark", "MinResume", "MonRS-All", "MonR-All", "MonNR-All")
+	for _, b := range kernels.All() {
+		base, err := o.run(b, "MinResume", false, 0)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s/MinResume: %w", b, err)
+		}
+		row := []any{b, 1.0}
+		for _, p := range pols {
+			res, err := o.run(b, p, false, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s/%s: %w", b, p, err)
+			}
+			if base.Atomics == 0 {
+				row = append(row, 0.0)
+				continue
+			}
+			row = append(row, float64(res.Atomics)/float64(base.Atomics))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig11 reproduces the execution-time breakdown: per-policy running and
+// waiting cycles summed over WGs, normalized to the Timeout policy's total
+// (log scale in the paper). Expected shape: MonNR-One spends far more time
+// waiting on barrier benchmarks; the monitor policies cut waiting time on
+// mutexes.
+func Fig11(o Options) (*metrics.Table, error) {
+	pols := []string{"Timeout", "MonNR-All", "MonNR-One"}
+	t := metrics.NewTable("Figure 11: WG execution breakdown normalized to Timeout",
+		"Benchmark", "Policy", "Running", "Waiting", "Total")
+	for _, b := range kernels.All() {
+		var baseTotal float64
+		for i, p := range pols {
+			res, err := o.run(b, p, false, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s/%s: %w", b, p, err)
+			}
+			total := float64(res.Breakdown.Running + res.Breakdown.Waiting)
+			if i == 0 {
+				baseTotal = total
+			}
+			if baseTotal == 0 {
+				continue
+			}
+			t.AddRow(b, p,
+				float64(res.Breakdown.Running)/baseTotal,
+				float64(res.Breakdown.Waiting)/baseTotal,
+				total/baseTotal)
+		}
+	}
+	return t, nil
+}
+
+func prefixAll(prefix string, xs []string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = prefix + x
+	}
+	return out
+}

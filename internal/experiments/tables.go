@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"awgsim/internal/kernels"
+	"awgsim/internal/mem"
+	"awgsim/internal/metrics"
+)
+
+// Table1 renders the baseline GPU model, the machine every experiment runs
+// on (Table 1 of the paper).
+func Table1(o Options) *metrics.Table {
+	g := o.gpuConfig()
+	m := mem.DefaultConfig()
+	t := metrics.NewTable("Table 1: Baseline GPU model", "Component", "Configuration")
+	t.AddRow("Compute units", fmt.Sprintf("%d", g.NumCUs))
+	t.AddRow("Clock", "2 GHz")
+	t.AddRow("SIMD units / CU", fmt.Sprintf("%d", g.SIMDsPerCU))
+	t.AddRow("SIMD width", fmt.Sprintf("%d", g.SIMDWidth))
+	t.AddRow("Wavefronts / SIMD", fmt.Sprintf("%d", g.WavefrontsPerSIMD))
+	t.AddRow("WG occupancy cap / CU", fmt.Sprintf("%d", g.MaxWGsPerCU))
+	t.AddRow("LDS / CU", fmt.Sprintf("%d KB", g.LDSPerCU>>10))
+	t.AddRow("L1 cache / CU", fmt.Sprintf("%d KB, %d-way, %d cycles", m.L1Bytes>>10, m.L1Ways, m.L1Latency))
+	t.AddRow("L2 cache (shared)", fmt.Sprintf("%d KB, %d-way, %d cycles, %d banks", m.L2Bytes>>10, m.L2Ways, m.L2Latency, m.L2Banks))
+	t.AddRow("L2 atomic service", fmt.Sprintf("%d cycles/bank", m.AtomicService))
+	t.AddRow("DRAM", fmt.Sprintf("%d channels, %d-cycle miss penalty", m.DRAMChannels, m.DRAMLatency))
+	return t
+}
+
+// Table2 reproduces the benchmark characterization: for every benchmark it
+// runs the busy-waiting Baseline with instrumentation and reports the
+// number of synchronization variables, conditions, waiters per condition
+// and updates until a condition is met, next to the analytic G/L/n
+// columns.
+func Table2(o Options) (*metrics.Table, error) {
+	p := o.params()
+	t := metrics.NewTable(
+		"Table 2: Inter-WG synchronization benchmarks [G total WGs, L WGs/CU, n WIs/WG]",
+		"Benchmark", "G", "L", "n", "SyncVars", "Conds", "MaxWaiters/Cond", "Updates/CondMet")
+	for _, name := range kernels.All() {
+		res, err := o.run(name, "Baseline", false, 0)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", name, err)
+		}
+		t.AddRow(name, p.NumWGs, p.WGsPerGroup(), p.WIsPerWG,
+			res.SyncVars, res.VarStats.Conditions, res.VarStats.MaxWaiters,
+			res.VarStats.UpdatesPerCond)
+	}
+	return t, nil
+}
+
+// Fig5 reports the WG context size per benchmark (Figure 5: 2–10 KB).
+func Fig5(o Options) (*metrics.Table, error) {
+	p := o.params()
+	cfg := o.gpuConfig()
+	t := metrics.NewTable("Figure 5: Work-group context size", "Benchmark", "Context KB")
+	for _, name := range append(kernels.All(), kernels.Apps()...) {
+		b, err := kernels.Build(name, p)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, float64(b.Spec.ContextBytes(cfg.SIMDWidth))/1024)
+	}
+	return t, nil
+}
+
+// Fig13 reports the sizes of the Command Processor's scheduling data
+// structures, measured with the SyncMon cache disabled so every waiting
+// condition virtualizes through the Monitor Log (the paper's "maximum
+// Monitor Log size assuming no SyncMon Cache"). Entry sizes: a waiting
+// condition is 16 B (address + value), a monitored address 8 B, a waiting
+// WG ID 4 B, and a monitor-table entry 20 B (condition + WG + state).
+func Fig13(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable("Figure 13: CP scheduling structure sizes (KB), SyncMon cache disabled",
+		"Benchmark", "WaitingConds KB", "MonitoredAddrs KB", "WaitingWGs KB", "MonitorTable KB", "ContextStore MB")
+	cfg := o.gpuConfig()
+	for _, name := range kernels.All() {
+		res, err := o.run(name, "AWG-nocache", false, 0)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s: %w", name, err)
+		}
+		spec, err := kernels.Build(name, o.params())
+		if err != nil {
+			return nil, err
+		}
+		ctxMB := float64(spec.Spec.ContextBytes(cfg.SIMDWidth)) * float64(o.params().NumWGs) / (1 << 20)
+		t.AddRow(name,
+			float64(res.MaxConditions*16)/1024,
+			float64(res.MaxMonitoredVar*8)/1024,
+			float64(res.MaxWaitingWGs*4)/1024,
+			float64(res.MaxLogEntries*20)/1024,
+			ctxMB)
+	}
+	return t, nil
+}
+
+// HardwareOverhead summarizes AWG's structure budget from Section V.C —
+// the numbers are architectural constants, reproduced here so the awgexp
+// report carries them next to the measured occupancies.
+func HardwareOverhead() *metrics.Table {
+	t := metrics.NewTable("AWG hardware overhead (Section V.C)", "Structure", "Size")
+	t.AddRow("SyncMon condition cache", "4-way x 256 sets = 1024 conditions")
+	t.AddRow("Waiting WG list", "512 entries, 2x9-bit head/tail per condition")
+	t.AddRow("Condition cache + WG list", "26112 bits = 3.18 KB")
+	t.AddRow("Bloom filters", "512 x 24 bits, 6 hash functions = 1.5 KB")
+	t.AddRow("L2 monitored bits", "1 bit/tag = 1 KB")
+	return t
+}

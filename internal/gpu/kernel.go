@@ -1,0 +1,120 @@
+package gpu
+
+import (
+	"fmt"
+
+	"awgsim/internal/event"
+	"awgsim/internal/mem"
+)
+
+// Program is the body one work-group executes. It runs on its own goroutine
+// in strict lock-step with the simulation engine: every Device call hands
+// control back until the simulated operation completes, so programs are
+// ordinary sequential Go code, exactly like the CUDA kernels of Figure 10.
+type Program func(d Device)
+
+// KernelSpec describes a kernel launch: grid shape, per-WG resource
+// demands (which determine the context size of Figure 5 and the occupancy
+// limits of Section II.D) and the program body.
+type KernelSpec struct {
+	Name     string
+	NumWGs   int // G in Table 2
+	WIsPerWG int // n in Table 2
+
+	VGPRsPerWI int // 32-bit vector registers per work-item
+	SGPRsPerWF int // 32-bit scalar registers per wavefront
+	LDSBytes   int // local data share per WG
+
+	Program Program
+}
+
+// Wavefronts reports how many wavefronts the WG occupies given the
+// machine's SIMD width.
+func (k KernelSpec) Wavefronts(simdWidth int) int {
+	return (k.WIsPerWG + simdWidth - 1) / simdWidth
+}
+
+// ContextBytes is the WG context that must move on a context switch:
+// vector registers for every work-item, scalar registers for every
+// wavefront, and the LDS allocation. This is the quantity Figure 5 plots
+// (2–10 KB across the HeteroSync benchmarks).
+func (k KernelSpec) ContextBytes(simdWidth int) int {
+	return k.WIsPerWG*k.VGPRsPerWI*4 + k.Wavefronts(simdWidth)*k.SGPRsPerWF*4 + k.LDSBytes
+}
+
+func (k KernelSpec) validate() error {
+	switch {
+	case k.Name == "":
+		return fmt.Errorf("gpu: kernel without a name")
+	case k.NumWGs <= 0:
+		return fmt.Errorf("gpu: kernel %s launches %d WGs", k.Name, k.NumWGs)
+	case k.WIsPerWG <= 0:
+		return fmt.Errorf("gpu: kernel %s has %d WIs per WG", k.Name, k.WIsPerWG)
+	case k.Program == nil:
+		return fmt.Errorf("gpu: kernel %s has no program", k.Name)
+	}
+	return nil
+}
+
+// Device is the programming interface a WG's program sees. Methods block
+// (in simulated time) until the operation completes. All atomic methods
+// return the value observed at the moment the operation was serviced at
+// the synchronization point (the L2 bank or the CU-local unit).
+type Device interface {
+	// Identity and launch geometry.
+	ID() WGID
+	NumWGs() int
+	WIsPerWG() int
+	// Group reports the WG's scheduling group (its home CU), the sharer
+	// set for locally scoped synchronization.
+	Group() int
+	// GroupSize reports how many WGs share the group (L in Table 2).
+	GroupSize() int
+	// IndexInGroup reports this WG's rank within its group.
+	IndexInGroup() int
+
+	// Compute advances the WG by the given amount of pure computation.
+	Compute(cycles event.Cycle)
+
+	// Plain memory operations through the L1.
+	Load(a mem.Addr) int64
+	Store(a mem.Addr, v int64)
+
+	// Atomics, serviced at the variable's synchronization point.
+	AtomicAdd(v Var, delta int64) int64
+	AtomicExch(v Var, val int64) int64
+	AtomicCAS(v Var, cmp, val int64) int64
+	AtomicLoad(v Var) int64
+	AtomicStore(v Var, val int64)
+
+	// SyncThreads is the intra-WG barrier (Figure 3c); with all wavefronts
+	// of a WG on one CU it is a fixed-latency local operation.
+	SyncThreads()
+
+	// AwaitEq blocks until the variable has been observed equal to want,
+	// returning the observed value. How the wait happens — busy polling,
+	// backoff, timeouts, monitor arming or waiting atomics — is decided by
+	// the active scheduling policy.
+	AwaitEq(v Var, want int64) int64
+
+	// AwaitGE blocks until the variable has been observed >= want. The
+	// monotonic-counter form every barrier and ticket spin needs: a value
+	// that sweeps past the target still satisfies a late poller.
+	AwaitGE(v Var, want int64) int64
+
+	// AcquireExch implements a test-and-set acquire: atomically exchange
+	// lockedVal into v until the old value it returns equals unlockedVal.
+	// The policy decides how to wait between failed attempts.
+	AcquireExch(v Var, lockedVal, unlockedVal int64)
+
+	// AcquireCAS acquires by compare-and-swap: repeat CAS(v, expect,
+	// newVal) until it succeeds.
+	AcquireCAS(v Var, expect, newVal int64)
+}
+
+// WaitHint carries per-callsite information from the primitive library to
+// the policy, such as whether the benchmark variant was written with
+// software exponential backoff (the SPMBO_* benchmarks).
+type WaitHint struct {
+	Backoff bool
+}

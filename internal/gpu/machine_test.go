@@ -1,0 +1,579 @@
+package gpu
+
+import (
+	"testing"
+
+	"awgsim/internal/event"
+	"awgsim/internal/mem"
+)
+
+// spinPolicy is a minimal busy-wait policy for machine tests.
+type spinPolicy struct{ m *Machine }
+
+func (p *spinPolicy) Name() string      { return "spin" }
+func (p *spinPolicy) Attach(m *Machine) { p.m = m }
+
+func (p *spinPolicy) Wait(w *WG, v Var, op AtomicOp, a, b, want int64, cmp Cmp, _ WaitHint, done func(int64)) {
+	var attempt func()
+	attempt = func() {
+		p.m.IssueAtomic(w, v, op, a, b, nil, func(ret int64) {
+			if cmp.Test(ret, want) {
+				done(ret)
+				return
+			}
+			p.m.Engine().After(16, attempt)
+		})
+	}
+	attempt()
+}
+
+// yieldPolicy context-switches waiters out whenever the machine is
+// oversubscribed, for dispatcher/preemption tests.
+type yieldPolicy struct{ m *Machine }
+
+func (p *yieldPolicy) Name() string      { return "yield" }
+func (p *yieldPolicy) Attach(m *Machine) { p.m = m }
+
+func (p *yieldPolicy) Wait(w *WG, v Var, op AtomicOp, a, b, want int64, cmp Cmp, _ WaitHint, done func(int64)) {
+	var attempt func()
+	attempt = func() {
+		p.m.IssueAtomic(w, v, op, a, b, nil, func(ret int64) {
+			if cmp.Test(ret, want) {
+				done(ret)
+				return
+			}
+			if p.m.Oversubscribed() {
+				p.m.SwitchOut(w)
+			}
+			p.m.Engine().After(2000, func() { p.m.Deliver(w, attempt) })
+		})
+	}
+	attempt()
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumCUs = 2
+	cfg.MaxWGsPerCU = 4
+	cfg.ProgressWindow = 200_000
+	cfg.MaxCycles = 10_000_000
+	return cfg
+}
+
+func newTestMachine(t *testing.T, cfg Config, spec *KernelSpec, pol Policy) *Machine {
+	t.Helper()
+	if pol == nil {
+		pol = &spinPolicy{}
+	}
+	m, err := NewMachine(cfg, mem.DefaultConfig(), spec, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineValidation(t *testing.T) {
+	spec := &KernelSpec{Name: "k", NumWGs: 1, WIsPerWG: 64, Program: func(Device) {}}
+	if _, err := NewMachine(testConfig(), mem.DefaultConfig(), spec, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+	bad := testConfig()
+	bad.NumCUs = 0
+	if _, err := NewMachine(bad, mem.DefaultConfig(), spec, &spinPolicy{}); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := NewMachine(testConfig(), mem.DefaultConfig(), &KernelSpec{}, &spinPolicy{}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestTrivialKernelCompletes(t *testing.T) {
+	ran := make([]bool, 8)
+	spec := &KernelSpec{
+		Name: "trivial", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) {
+			d.Compute(100)
+			ran[d.ID()] = true
+		},
+	}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("trivial kernel deadlocked")
+	}
+	if res.Completed != 8 {
+		t.Fatalf("completed %d WGs, want 8", res.Completed)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("WG %d never ran", i)
+		}
+	}
+	if res.Cycles == 0 {
+		t.Fatal("zero runtime")
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	spec := &KernelSpec{Name: "k", NumWGs: 1, WIsPerWG: 64, Program: func(d Device) {}}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	m.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run did not panic")
+		}
+	}()
+	m.Run()
+}
+
+func TestAtomicAddAccumulates(t *testing.T) {
+	const counter = mem.Addr(0x1000)
+	spec := &KernelSpec{
+		Name: "adders", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) {
+			for i := 0; i < 10; i++ {
+				d.AtomicAdd(GlobalVar(counter), 1)
+			}
+		},
+	}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if got := m.Mem().Read(counter); got != 80 {
+		t.Fatalf("counter = %d, want 80", got)
+	}
+	if res.Atomics != 80 {
+		t.Fatalf("atomics counted = %d, want 80", res.Atomics)
+	}
+}
+
+func TestAtomicOpsReturnOldValue(t *testing.T) {
+	const a = mem.Addr(0x2000)
+	var exchOld, casOld, loadVal int64
+	spec := &KernelSpec{
+		Name: "ops", NumWGs: 1, WIsPerWG: 64,
+		Program: func(d Device) {
+			v := GlobalVar(a)
+			d.AtomicStore(v, 5)
+			exchOld = d.AtomicExch(v, 9)
+			casOld = d.AtomicCAS(v, 9, 13)
+			loadVal = d.AtomicLoad(v)
+		},
+	}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	if res := m.Run(); res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if exchOld != 5 || casOld != 9 || loadVal != 13 {
+		t.Fatalf("exch=%d cas=%d load=%d, want 5 9 13", exchOld, casOld, loadVal)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	const a = mem.Addr(0x3000)
+	var got int64
+	spec := &KernelSpec{
+		Name: "ls", NumWGs: 1, WIsPerWG: 64,
+		Program: func(d Device) {
+			d.Store(a, 42)
+			got = d.Load(a)
+		},
+	}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	if res := m.Run(); res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if got != 42 {
+		t.Fatalf("loaded %d, want 42", got)
+	}
+}
+
+func TestProducerConsumerViaAwait(t *testing.T) {
+	const flag = mem.Addr(0x4000)
+	var observed int64
+	spec := &KernelSpec{
+		Name: "pc", NumWGs: 2, WIsPerWG: 64,
+		Program: func(d Device) {
+			v := GlobalVar(flag)
+			if d.ID() == 0 {
+				d.Compute(5000)
+				d.AtomicStore(v, 7)
+			} else {
+				observed = d.AwaitEq(v, 7)
+			}
+		},
+	}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if observed != 7 {
+		t.Fatalf("consumer observed %d, want 7", observed)
+	}
+}
+
+func TestAwaitGE(t *testing.T) {
+	const c = mem.Addr(0x5000)
+	spec := &KernelSpec{
+		Name: "ge", NumWGs: 4, WIsPerWG: 64,
+		Program: func(d Device) {
+			v := GlobalVar(c)
+			d.AtomicAdd(v, 1)
+			d.AwaitGE(v, 4) // everyone waits for all arrivals
+		},
+	}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	if res := m.Run(); res.Deadlocked {
+		t.Fatal("GE barrier deadlocked")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	build := func() *Machine {
+		const lock = mem.Addr(0x6000)
+		spec := &KernelSpec{
+			Name: "replay", NumWGs: 8, WIsPerWG: 64,
+			Program: func(d Device) {
+				v := GlobalVar(lock)
+				for i := 0; i < 5; i++ {
+					d.AcquireExch(v, 1, 0)
+					d.Compute(50)
+					d.AtomicExch(v, 0)
+				}
+			},
+		}
+		return newTestMachine(t, testConfig(), spec, nil)
+	}
+	a := build().Run()
+	b := build().Run()
+	if a.Cycles != b.Cycles || a.Atomics != b.Atomics {
+		t.Fatalf("replay diverged: %d/%d cycles, %d/%d atomics",
+			a.Cycles, b.Cycles, a.Atomics, b.Atomics)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	const never = mem.Addr(0x7000)
+	cfg := testConfig()
+	cfg.ProgressWindow = 50_000
+	spec := &KernelSpec{
+		Name: "stuck", NumWGs: 2, WIsPerWG: 64,
+		Program: func(d Device) {
+			d.AwaitEq(GlobalVar(never), 1) // no one ever sets it
+		},
+	}
+	m := newTestMachine(t, cfg, spec, nil)
+	res := m.Run()
+	if !res.Deadlocked {
+		t.Fatal("watchdog missed an obvious deadlock")
+	}
+	if res.Completed != 0 {
+		t.Fatalf("%d WGs completed in a deadlocked run", res.Completed)
+	}
+}
+
+func TestOccupancyLimitedDispatch(t *testing.T) {
+	// 16 WGs on a machine with 8 slots: the second half must start only
+	// after the first half finishes (no policy-driven context switching
+	// here).
+	cfg := testConfig() // 2 CUs x 4 slots
+	order := make(chan WGID, 16)
+	spec := &KernelSpec{
+		Name: "waves", NumWGs: 16, WIsPerWG: 64,
+		Program: func(d Device) {
+			d.Compute(1000)
+			order <- d.ID()
+		},
+	}
+	m := newTestMachine(t, cfg, spec, nil)
+	res := m.Run()
+	if res.Deadlocked || res.Completed != 16 {
+		t.Fatalf("run failed: deadlocked=%v completed=%d", res.Deadlocked, res.Completed)
+	}
+	close(order)
+	var ids []WGID
+	for id := range order {
+		ids = append(ids, id)
+	}
+	// The first 8 finishers must be exactly WGs 0..7 (dispatch order).
+	seen := map[WGID]bool{}
+	for _, id := range ids[:8] {
+		seen[id] = true
+	}
+	for i := WGID(0); i < 8; i++ {
+		if !seen[i] {
+			t.Fatalf("WG %d not in first dispatch wave: %v", i, ids[:8])
+		}
+	}
+}
+
+func TestHomeGroupsAndPlacement(t *testing.T) {
+	cfg := testConfig() // 2 CUs x 4
+	spec := &KernelSpec{
+		Name: "groups", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) {
+			if d.GroupSize() != 4 {
+				t.Errorf("WG %d group size %d, want 4", d.ID(), d.GroupSize())
+			}
+			want := int(d.ID()) / 4
+			if d.Group() != want {
+				t.Errorf("WG %d in group %d, want %d", d.ID(), d.Group(), want)
+			}
+			// Initial placement puts each WG on its home CU.
+			if int(d.ID())/4 != want {
+				t.Errorf("placement mismatch")
+			}
+		},
+	}
+	m := newTestMachine(t, cfg, spec, nil)
+	if res := m.Run(); res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	for _, w := range m.WGs() {
+		if w.Home() != int(w.ID())/4 {
+			t.Errorf("WG %d home %d", w.ID(), w.Home())
+		}
+	}
+}
+
+func TestPreemptCUForcesWGsOut(t *testing.T) {
+	// Long-running WGs on 2 CUs; preempt CU 1 mid-run. With the yield
+	// policy, everything still completes on CU 0.
+	const flag = mem.Addr(0x8000)
+	cfg := testConfig()
+	spec := &KernelSpec{
+		Name: "preempt", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) {
+			if d.ID() == 0 {
+				d.Compute(60_000)
+				d.AtomicStore(GlobalVar(flag), 1)
+				return
+			}
+			d.AwaitEq(GlobalVar(flag), 1)
+		},
+	}
+	m := newTestMachine(t, cfg, spec, &yieldPolicy{})
+	m.Engine().At(10_000, func() { m.PreemptCU(1) })
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked after preemption under a yielding policy")
+	}
+	if m.EnabledCUs() != 1 {
+		t.Fatalf("EnabledCUs = %d, want 1", m.EnabledCUs())
+	}
+	if res.SwitchesOut == 0 {
+		t.Fatal("preemption recorded no context switches")
+	}
+	// Preempting again is a no-op.
+	prev := m.Count.SwitchesOut
+	m.PreemptCU(1)
+	if m.Count.SwitchesOut != prev {
+		t.Fatal("double preemption switched WGs again")
+	}
+}
+
+func TestStalledWGsFreeIssueSlots(t *testing.T) {
+	// Two WGs on one CU with one SIMD: when the neighbour busy-spins,
+	// compute takes ~2x as long as when it is stalled.
+	run := func(stallNeighbour bool) uint64 {
+		const flag = mem.Addr(0x9000)
+		cfg := testConfig()
+		cfg.NumCUs = 1
+		cfg.SIMDsPerCU = 1
+		cfg.MaxWGsPerCU = 2
+		var pol Policy = &spinPolicy{}
+		if stallNeighbour {
+			pol = &stallingPolicy{}
+		}
+		spec := &KernelSpec{
+			Name: "interfere", NumWGs: 2, WIsPerWG: 64,
+			Program: func(d Device) {
+				if d.ID() == 0 {
+					d.Compute(100_000)
+					d.AtomicStore(GlobalVar(flag), 1)
+					return
+				}
+				d.AwaitEq(GlobalVar(flag), 1)
+			},
+		}
+		m := newTestMachine(t, cfg, spec, pol)
+		res := m.Run()
+		if res.Deadlocked {
+			t.Fatal("deadlocked")
+		}
+		return res.Cycles
+	}
+	spinning := run(false)
+	stalled := run(true)
+	if spinning < stalled*3/2 {
+		t.Fatalf("busy neighbour (%d cycles) not meaningfully slower than stalled neighbour (%d)",
+			spinning, stalled)
+	}
+}
+
+// stallingPolicy stalls waiters (releasing issue slots) and re-polls on a
+// long timer.
+type stallingPolicy struct{ m *Machine }
+
+func (p *stallingPolicy) Name() string      { return "stalling" }
+func (p *stallingPolicy) Attach(m *Machine) { p.m = m }
+
+func (p *stallingPolicy) Wait(w *WG, v Var, op AtomicOp, a, b, want int64, cmp Cmp, _ WaitHint, done func(int64)) {
+	var attempt func()
+	attempt = func() {
+		p.m.IssueAtomic(w, v, op, a, b, nil, func(ret int64) {
+			if cmp.Test(ret, want) {
+				p.m.SetStalled(w, false)
+				done(ret)
+				return
+			}
+			p.m.SetStalled(w, true)
+			p.m.Engine().After(5_000, attempt)
+		})
+	}
+	attempt()
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	spec := &KernelSpec{Name: "k", NumWGs: 1, WIsPerWG: 64, Program: func(Device) {}}
+	m1 := newTestMachine(t, testConfig(), spec, nil)
+	m2 := newTestMachine(t, testConfig(), spec, nil)
+	for i := 0; i < 1000; i++ {
+		a, b := m1.Jitter(100), m2.Jitter(100)
+		if a != b {
+			t.Fatal("jitter not deterministic across machines")
+		}
+		if a >= 100 {
+			t.Fatalf("jitter %d out of range", a)
+		}
+	}
+	if m1.Jitter(0) != 0 {
+		t.Fatal("Jitter(0) != 0")
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	const flag = mem.Addr(0xa000)
+	spec := &KernelSpec{
+		Name: "breakdown", NumWGs: 2, WIsPerWG: 64,
+		Program: func(d Device) {
+			if d.ID() == 0 {
+				d.Compute(20_000)
+				d.AtomicStore(GlobalVar(flag), 1)
+				return
+			}
+			d.AwaitEq(GlobalVar(flag), 1)
+		},
+	}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if res.Breakdown.Waiting == 0 {
+		t.Fatal("consumer recorded no waiting time")
+	}
+	if res.Breakdown.Running == 0 {
+		t.Fatal("no running time recorded")
+	}
+	// The consumer waited roughly as long as the producer computed.
+	if res.Breakdown.Waiting < 15_000 {
+		t.Fatalf("waiting = %d, expected ~20k", res.Breakdown.Waiting)
+	}
+}
+
+func TestCharacterizationStats(t *testing.T) {
+	const lock = mem.Addr(0xb000)
+	spec := &KernelSpec{
+		Name: "charz", NumWGs: 4, WIsPerWG: 64,
+		Program: func(d Device) {
+			v := GlobalVar(lock)
+			for i := 0; i < 3; i++ {
+				d.AcquireExch(v, 1, 0)
+				d.Compute(100)
+				d.AtomicExch(v, 0)
+			}
+		},
+	}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if res.SyncVars != 1 {
+		t.Fatalf("SyncVars = %d, want 1", res.SyncVars)
+	}
+	if res.VarStats.MaxWaiters < 1 || res.VarStats.MaxWaiters > 4 {
+		t.Fatalf("MaxWaiters = %d, want in [1,4]", res.VarStats.MaxWaiters)
+	}
+}
+
+func TestSyncThreadsCost(t *testing.T) {
+	cfg := testConfig()
+	spec := &KernelSpec{
+		Name: "sync", NumWGs: 1, WIsPerWG: 64,
+		Program: func(d Device) {
+			for i := 0; i < 10; i++ {
+				d.SyncThreads()
+			}
+		},
+	}
+	m := newTestMachine(t, cfg, spec, nil)
+	res := m.Run()
+	minCost := uint64(10 * cfg.SyncThreadsLatency)
+	if res.Cycles < minCost {
+		t.Fatalf("10 syncthreads took %d cycles, want >= %d", res.Cycles, minCost)
+	}
+}
+
+func TestOversubscribedFlag(t *testing.T) {
+	cfg := testConfig() // capacity 8
+	spec := &KernelSpec{
+		Name: "k", NumWGs: 12, WIsPerWG: 64,
+		Program: func(d Device) { d.Compute(1000) },
+	}
+	m := newTestMachine(t, cfg, spec, nil)
+	if !m.Oversubscribed() {
+		t.Fatal("12 WGs on 8 slots not reported oversubscribed before dispatch")
+	}
+	res := m.Run()
+	if res.Deadlocked || res.Completed != 12 {
+		t.Fatalf("oversubscribed-by-launch run failed: %+v", res)
+	}
+	if m.Oversubscribed() {
+		t.Fatal("still oversubscribed after completion")
+	}
+}
+
+func TestAbortCleansUpGoroutines(t *testing.T) {
+	// A deadlocked run must unwind all WG goroutines; run many times to
+	// shake out leaks (the race detector would flag misuse).
+	cfg := testConfig()
+	cfg.ProgressWindow = 20_000
+	for i := 0; i < 5; i++ {
+		spec := &KernelSpec{
+			Name: "stuck", NumWGs: 8, WIsPerWG: 64,
+			Program: func(d Device) {
+				d.AwaitEq(GlobalVar(0xdead0), 1)
+			},
+		}
+		m := newTestMachine(t, cfg, spec, nil)
+		if res := m.Run(); !res.Deadlocked {
+			t.Fatal("expected deadlock")
+		}
+	}
+}
+
+func TestEventEngineExposed(t *testing.T) {
+	spec := &KernelSpec{Name: "k", NumWGs: 1, WIsPerWG: 64, Program: func(Device) {}}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	fired := false
+	m.Engine().At(event.Cycle(1), func() { fired = true })
+	m.Run()
+	if !fired {
+		t.Fatal("harness event did not fire")
+	}
+}

@@ -1,0 +1,333 @@
+package gpu
+
+import (
+	"testing"
+
+	"awgsim/internal/mem"
+)
+
+func TestInjectKernelBothComplete(t *testing.T) {
+	cfg := testConfig()
+	primary := &KernelSpec{
+		Name: "lp", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) { d.Compute(50_000) },
+	}
+	m := newTestMachine(t, cfg, primary, nil)
+	hpDone := mem.Addr(0x100)
+	hp := &KernelSpec{
+		Name: "hp", NumWGs: 2, WIsPerWG: 64,
+		Program: func(d Device) {
+			d.Compute(5_000)
+			d.AtomicAdd(GlobalVar(hpDone), 1)
+		},
+	}
+	h, err := m.InjectKernel(hp, 10_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if !h.Done() {
+		t.Fatal("injected kernel did not finish")
+	}
+	if got := m.Mem().Read(hpDone); got != 2 {
+		t.Fatalf("hp counter = %d, want 2", got)
+	}
+	if h.Latency() == 0 {
+		t.Fatal("no latency recorded")
+	}
+	// Primary result reflects only the primary kernel.
+	if res.Completed != 8 {
+		t.Fatalf("primary completed = %d, want 8", res.Completed)
+	}
+}
+
+func TestInjectKernelPreemptsLowerPriority(t *testing.T) {
+	// Fill the machine (8 slots) with long-running LP WGs; a priority-1
+	// kernel arriving mid-run must evict LP WGs rather than queue behind
+	// them.
+	cfg := testConfig()
+	primary := &KernelSpec{
+		Name: "lp", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) { d.Compute(500_000) },
+	}
+	m := newTestMachine(t, cfg, primary, &yieldPolicy{})
+	hp := &KernelSpec{
+		Name: "hp", NumWGs: 4, WIsPerWG: 64,
+		Program: func(d Device) { d.Compute(10_000) },
+	}
+	h, err := m.InjectKernel(hp, 20_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if res.SwitchesOut == 0 {
+		t.Fatal("no LP WG was evicted for the high-priority kernel")
+	}
+	// The HP kernel must finish long before the LP kernel's 500k compute
+	// blocks would otherwise allow: launch 20k + evictions + 10k compute
+	// (with interference) plus margin.
+	if h.Latency() > 120_000 {
+		t.Fatalf("high-priority latency %d cycles — it waited for LP completions", h.Latency())
+	}
+}
+
+func TestInjectKernelWithoutPriorityQueues(t *testing.T) {
+	// Priority-0 injection must NOT evict anyone: it waits for free slots.
+	cfg := testConfig()
+	primary := &KernelSpec{
+		Name: "lp", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) { d.Compute(100_000) },
+	}
+	m := newTestMachine(t, cfg, primary, nil)
+	hp := &KernelSpec{
+		Name: "bg", NumWGs: 2, WIsPerWG: 64,
+		Program: func(d Device) { d.Compute(1_000) },
+	}
+	h, err := m.InjectKernel(hp, 10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Deadlocked || !h.Done() {
+		t.Fatal("run failed")
+	}
+	if res.SwitchesOut != 0 {
+		t.Fatal("priority-0 injection evicted resident WGs")
+	}
+	// It can only have started after a primary WG finished (~100k+).
+	if h.Latency() < 80_000 {
+		t.Fatalf("background kernel latency %d — it jumped the queue", h.Latency())
+	}
+}
+
+func TestInjectKernelValidation(t *testing.T) {
+	spec := &KernelSpec{Name: "k", NumWGs: 1, WIsPerWG: 64, Program: func(Device) {}}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	if _, err := m.InjectKernel(&KernelSpec{}, 0, 1); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	m.Run()
+	if _, err := m.InjectKernel(spec, 0, 1); err == nil {
+		t.Fatal("InjectKernel after Run accepted")
+	}
+}
+
+func TestInjectedKernelCanSynchronize(t *testing.T) {
+	// The injected kernel uses inter-WG synchronization itself (a small
+	// counter barrier) under the active policy.
+	cfg := testConfig()
+	primary := &KernelSpec{
+		Name: "lp", NumWGs: 4, WIsPerWG: 64,
+		Program: func(d Device) { d.Compute(200_000) },
+	}
+	m := newTestMachine(t, cfg, primary, &yieldPolicy{})
+	const count = mem.Addr(0x2000)
+	hp := &KernelSpec{
+		Name: "hp-sync", NumWGs: 4, WIsPerWG: 64,
+		Program: func(d Device) {
+			v := GlobalVar(count)
+			d.AtomicAdd(v, 1)
+			d.AwaitGE(v, 4)
+		},
+	}
+	h, err := m.InjectKernel(hp, 5_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Run(); res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if !h.Done() {
+		t.Fatal("synchronizing injected kernel did not finish")
+	}
+}
+
+func TestEvictionPrefersStalledVictims(t *testing.T) {
+	// Half the LP WGs wait (stalled) on a flag; the HP kernel needs half
+	// the machine. The evicted WGs should be the stalled ones, so the LP
+	// computation continues unharmed.
+	cfg := testConfig() // 2 CUs x 4
+	const flag = mem.Addr(0x3000)
+	primary := &KernelSpec{
+		Name: "lp", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) {
+			if d.ID() < 4 {
+				d.Compute(300_000)
+				if d.ID() == 0 {
+					d.AtomicStore(GlobalVar(flag), 1)
+				}
+				return
+			}
+			d.AwaitEq(GlobalVar(flag), 1)
+		},
+	}
+	m := newTestMachine(t, cfg, primary, &stallingPolicy{})
+	hp := &KernelSpec{
+		Name: "hp", NumWGs: 4, WIsPerWG: 64,
+		Program: func(d Device) { d.Compute(2_000) },
+	}
+	if _, err := m.InjectKernel(hp, 50_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	// The four stalled waiters are the natural victims; the computing WGs
+	// should not have been evicted (4 evictions, not more).
+	if res.SwitchesOut > 4 {
+		t.Fatalf("%d evictions; expected only the 4 stalled waiters", res.SwitchesOut)
+	}
+}
+
+func TestMultiWavefrontWGsOccupyMore(t *testing.T) {
+	// A 256-WI WG is 4 wavefronts: a CU with 8 WF slots fits 2 of them
+	// even though the WG-slot cap would allow 4.
+	cfg := testConfig()
+	cfg.NumCUs = 1
+	cfg.WavefrontsPerSIMD = 4 // 2 SIMDs x 4 = 8 WF slots
+	cfg.MaxWGsPerCU = 4
+	// Track the maximum concurrency the dispatcher allows: program bodies
+	// run in lock-step with the engine, so these counters are race-free.
+	cur, peak := 0, 0
+	spec := &KernelSpec{
+		Name: "wide", NumWGs: 4, WIsPerWG: 256,
+		Program: func(d Device) {
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			d.Compute(10_000)
+			cur--
+		},
+	}
+	m := newTestMachine(t, cfg, spec, nil)
+	if res := m.Run(); res.Deadlocked || res.Completed != 4 {
+		t.Fatalf("wide-WG run failed: %+v", res)
+	}
+	if peak != 2 {
+		t.Fatalf("peak concurrency %d, want 2 (WF-slot limited)", peak)
+	}
+}
+
+func TestMultiWavefrontComputeInterference(t *testing.T) {
+	// Two 4-WF WGs on a 2-SIMD CU contend 4x harder than two 1-WF WGs.
+	run := func(wis int) uint64 {
+		cfg := testConfig()
+		cfg.NumCUs = 1
+		cfg.MaxWGsPerCU = 2
+		spec := &KernelSpec{
+			Name: "k", NumWGs: 2, WIsPerWG: wis,
+			Program: func(d Device) { d.Compute(10_000) },
+		}
+		m := newTestMachine(t, cfg, spec, nil)
+		res := m.Run()
+		if res.Deadlocked {
+			t.Fatal("deadlocked")
+		}
+		return res.Cycles
+	}
+	narrow, wide := run(64), run(256)
+	if wide < narrow*3 {
+		t.Fatalf("4-WF WGs (%d cycles) not ~4x slower than 1-WF (%d)", wide, narrow)
+	}
+}
+
+func TestSyncThreadsScalesWithWavefronts(t *testing.T) {
+	run := func(wis int) uint64 {
+		cfg := testConfig()
+		spec := &KernelSpec{
+			Name: "k", NumWGs: 1, WIsPerWG: wis,
+			Program: func(d Device) {
+				for i := 0; i < 20; i++ {
+					d.SyncThreads()
+				}
+			},
+		}
+		m := newTestMachine(t, cfg, spec, nil)
+		return m.Run().Cycles
+	}
+	if one, four := run(64), run(256); four < one*3 {
+		t.Fatalf("4-WF syncthreads (%d) not ~4x the 1-WF cost (%d)", four, one)
+	}
+}
+
+func TestMaxWaitReported(t *testing.T) {
+	const flag = mem.Addr(0x5000)
+	spec := &KernelSpec{
+		Name: "wait", NumWGs: 2, WIsPerWG: 64,
+		Program: func(d Device) {
+			if d.ID() == 0 {
+				d.Compute(30_000)
+				d.AtomicStore(GlobalVar(flag), 1)
+				return
+			}
+			d.AwaitEq(GlobalVar(flag), 1)
+		},
+	}
+	m := newTestMachine(t, testConfig(), spec, nil)
+	res := m.Run()
+	if res.MaxWait < 25_000 {
+		t.Fatalf("MaxWait = %d, want ~30k (the consumer's single wait)", res.MaxWait)
+	}
+}
+
+func TestTransientCULossRecovers(t *testing.T) {
+	// Unlike the permanent loss of the Figure 15 experiment, a CU that
+	// comes back lets even the busy-waiting baseline finish: the evicted
+	// WGs re-dispatch onto the restored CU and satisfy the barrier.
+	cfg := testConfig()
+	cfg.ProgressWindow = 400_000
+	const count = mem.Addr(0x6000)
+	spec := &KernelSpec{
+		Name: "transient", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) {
+			d.Compute(30_000)
+			v := GlobalVar(count)
+			if d.AtomicAdd(v, 1)+1 != 8 {
+				d.AwaitGE(v, 8)
+			}
+		},
+	}
+	m := newTestMachine(t, cfg, spec, nil) // busy-wait policy
+	m.Engine().At(5_000, func() { m.PreemptCU(1) })
+	m.Engine().At(120_000, func() { m.RestoreCU(1) })
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("baseline deadlocked on a transient CU loss — the evicted WGs should return")
+	}
+	if m.EnabledCUs() != 2 {
+		t.Fatalf("EnabledCUs = %d after restore, want 2", m.EnabledCUs())
+	}
+	// Restoring an enabled CU is a no-op.
+	m.RestoreCU(0)
+}
+
+func TestPermanentCULossDeadlocksBaseline(t *testing.T) {
+	// The contrast case: same kernel, no restore — the barrier waits
+	// forever for the evicted WGs.
+	cfg := testConfig()
+	cfg.ProgressWindow = 150_000
+	const count = mem.Addr(0x7000)
+	spec := &KernelSpec{
+		Name: "permanent", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d Device) {
+			d.Compute(30_000)
+			v := GlobalVar(count)
+			if d.AtomicAdd(v, 1)+1 != 8 {
+				d.AwaitGE(v, 8)
+			}
+		},
+	}
+	m := newTestMachine(t, cfg, spec, nil)
+	m.Engine().At(5_000, func() { m.PreemptCU(1) })
+	if res := m.Run(); !res.Deadlocked {
+		t.Fatal("baseline completed despite a permanent CU loss")
+	}
+}

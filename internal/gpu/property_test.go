@@ -1,0 +1,145 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"awgsim/internal/event"
+	"awgsim/internal/mem"
+)
+
+// TestAtomicFunctionalEquivalence: whatever the timing model does with
+// scheduling and bank queues, the *functional* outcome of commutative
+// atomics must match a sequential model: per-address sums for adds, and
+// for exchange chains the final value must be one of the written values.
+func TestAtomicFunctionalEquivalence(t *testing.T) {
+	f := func(seed int64, nWGsRaw, nOpsRaw uint8) bool {
+		nWGs := int(nWGsRaw)%6 + 2
+		nOps := int(nOpsRaw)%20 + 1
+		rng := rand.New(rand.NewSource(seed))
+		addrs := []mem.Addr{0x1000, 0x1040, 0x1080}
+		// Pre-generate per-WG op sequences.
+		type op struct {
+			addr  mem.Addr
+			delta int64
+		}
+		plans := make([][]op, nWGs)
+		expected := map[mem.Addr]int64{}
+		for i := range plans {
+			for j := 0; j < nOps; j++ {
+				o := op{addrs[rng.Intn(len(addrs))], int64(rng.Intn(9) - 4)}
+				plans[i] = append(plans[i], o)
+				expected[o.addr] += o.delta
+			}
+		}
+		spec := &KernelSpec{
+			Name: "prop", NumWGs: nWGs, WIsPerWG: 64,
+			Program: func(d Device) {
+				for _, o := range plans[d.ID()] {
+					d.AtomicAdd(GlobalVar(o.addr), o.delta)
+				}
+			},
+		}
+		cfg := testConfig()
+		m, err := NewMachine(cfg, mem.DefaultConfig(), spec, &spinPolicy{})
+		if err != nil {
+			return false
+		}
+		if m.Run().Deadlocked {
+			return false
+		}
+		for a, want := range expected {
+			if got := m.Mem().Read(a); got != want {
+				t.Logf("addr %x: got %d want %d", a, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutualExclusionProperty: under random critical-section lengths, a
+// test-and-set lock must still serialize increments of an unprotected
+// counter (read-modify-write through plain loads/stores).
+func TestMutualExclusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nWGs, iters = 6, 3
+		work := make([][]uint64, nWGs)
+		for i := range work {
+			for j := 0; j < iters; j++ {
+				work[i] = append(work[i], uint64(rng.Intn(400)))
+			}
+		}
+		const lock, counter = mem.Addr(0x2000), mem.Addr(0x2040)
+		spec := &KernelSpec{
+			Name: "mutex-prop", NumWGs: nWGs, WIsPerWG: 64,
+			Program: func(d Device) {
+				v := GlobalVar(lock)
+				for j := 0; j < iters; j++ {
+					d.AcquireExch(v, 1, 0)
+					x := d.Load(counter)
+					d.Compute(event.Cycle(work[d.ID()][j]) + 1)
+					d.Store(counter, x+1)
+					d.AtomicExch(v, 0)
+				}
+			},
+		}
+		m, err := NewMachine(testConfig(), mem.DefaultConfig(), spec, &spinPolicy{})
+		if err != nil {
+			return false
+		}
+		if m.Run().Deadlocked {
+			return false
+		}
+		return m.Mem().Read(counter) == int64(nWGs*iters)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBarrierEpochProperty: no WG may start epoch e+1 before every WG
+// finished epoch e. The kernel writes per-WG epoch stamps; inside each
+// epoch it verifies no stamp is more than one behind.
+func TestBarrierEpochProperty(t *testing.T) {
+	const nWGs, epochs = 8, 4
+	const count = mem.Addr(0x3000)
+	stampBase := mem.Addr(0x4000)
+	violated := false
+	spec := &KernelSpec{
+		Name: "barrier-prop", NumWGs: nWGs, WIsPerWG: 64,
+		Program: func(d Device) {
+			me := stampBase + mem.Addr(int(d.ID())*64)
+			for e := 1; e <= epochs; e++ {
+				d.Compute(event.Cycle(100 * (int(d.ID()) + 1)))
+				d.Store(me, int64(e))
+				v := GlobalVar(count)
+				target := int64(e * nWGs)
+				if d.AtomicAdd(v, 1)+1 != target {
+					d.AwaitGE(v, target)
+				}
+				// After the barrier, every stamp must be >= e.
+				for i := 0; i < nWGs; i++ {
+					if d.Load(stampBase+mem.Addr(i*64)) < int64(e) {
+						violated = true
+					}
+				}
+			}
+		},
+	}
+	m, err := NewMachine(testConfig(), mem.DefaultConfig(), spec, &spinPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Run().Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if violated {
+		t.Fatal("a WG crossed the barrier before everyone arrived")
+	}
+}

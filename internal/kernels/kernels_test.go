@@ -1,0 +1,232 @@
+package kernels
+
+import (
+	"testing"
+
+	"awgsim/internal/gpu"
+	"awgsim/internal/mem"
+)
+
+func testParams() Params {
+	return Params{NumWGs: 16, Groups: 4, WIsPerWG: 64, Iters: 3, CSWork: 100, OutsideWork: 100}
+}
+
+func TestAddrAlloc(t *testing.T) {
+	a := NewAddrAlloc(0x1000)
+	w1, w2 := a.Word(), a.Word()
+	if w1 != 0x1000 || w2 != 0x1040 {
+		t.Fatalf("words %x %x, want line-strided from 0x1000", w1, w2)
+	}
+	ws := a.Words(3)
+	if len(ws) != 3 || ws[0] != 0x1080 || ws[2] != 0x1100 {
+		t.Fatalf("Words(3) = %x", ws)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := DefaultParams()
+	bad.NumWGs = 10 // not divisible by 8 groups
+	if err := bad.validate(); err == nil {
+		t.Error("indivisible WG count accepted")
+	}
+	bad = DefaultParams()
+	bad.Iters = 0
+	if err := bad.validate(); err == nil {
+		t.Error("zero iters accepted")
+	}
+}
+
+func TestWGsPerGroup(t *testing.T) {
+	p := DefaultParams()
+	if p.WGsPerGroup()*p.Groups != p.NumWGs {
+		t.Fatalf("groups %d x L %d != G %d", p.Groups, p.WGsPerGroup(), p.NumWGs)
+	}
+}
+
+func TestGroupMembersMatchMachinePlacement(t *testing.T) {
+	p := testParams()
+	seen := map[int]bool{}
+	for g := 0; g < p.Groups; g++ {
+		members := p.groupMembers(g)
+		if len(members) != p.WGsPerGroup() {
+			t.Fatalf("group %d has %d members, want %d", g, len(members), p.WGsPerGroup())
+		}
+		for _, id := range members {
+			if seen[id] {
+				t.Fatalf("WG %d in two groups", id)
+			}
+			seen[id] = true
+			// The machine's blocked placement: (id / L) % Groups.
+			if (id/p.WGsPerGroup())%p.Groups != g {
+				t.Fatalf("WG %d in group %d disagrees with machine placement", id, g)
+			}
+		}
+	}
+	if len(seen) != p.NumWGs {
+		t.Fatalf("groups cover %d WGs, want %d", len(seen), p.NumWGs)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != 12 {
+		t.Fatalf("All() lists %d benchmarks, want 12", len(All()))
+	}
+	for _, name := range append(All(), Apps()...) {
+		b, err := Build(name, testParams())
+		if err != nil {
+			t.Errorf("Build(%s): %v", name, err)
+			continue
+		}
+		if b.Spec.Name != name {
+			t.Errorf("%s spec named %q", name, b.Spec.Name)
+		}
+		if b.Spec.Program == nil {
+			t.Errorf("%s has no program", name)
+		}
+		if b.Verify == nil {
+			t.Errorf("%s has no validation", name)
+		}
+	}
+	if _, err := Get("NoSuchBenchmark"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	bad := testParams()
+	bad.NumWGs = 0
+	for _, name := range All() {
+		if _, err := Build(name, bad); err == nil {
+			t.Errorf("%s accepted zero WGs", name)
+		}
+	}
+}
+
+func TestContextSizesSpanPaperRange(t *testing.T) {
+	// Figure 5: context sizes range roughly 2–10 KB across the suite.
+	p := testParams()
+	min, max := 1<<30, 0
+	for _, name := range All() {
+		b, err := Build(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := b.Spec.ContextBytes(64)
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min < 2000 || min > 4000 {
+		t.Errorf("smallest context %d B, want ~2-4 KB", min)
+	}
+	if max < 8000 || max > 11000 {
+		t.Errorf("largest context %d B, want ~8-10 KB", max)
+	}
+}
+
+func TestTreeBarrierTargets(t *testing.T) {
+	b := TreeBarrier{Groups: 4}
+	// Group of 4: epoch 1 arrives at 4, releases at 5; epoch 2 arrives at
+	// 9, releases at 10 (the counter advances GroupSize+1 per epoch).
+	for _, tc := range []struct {
+		epoch           int64
+		arrive, release int64
+	}{{1, 4, 5}, {2, 9, 10}, {3, 14, 15}} {
+		a, r := b.LocalTargets(4, tc.epoch)
+		if a != tc.arrive || r != tc.release {
+			t.Errorf("epoch %d: targets (%d,%d), want (%d,%d)", tc.epoch, a, r, tc.arrive, tc.release)
+		}
+	}
+}
+
+func TestQueueMutexInit(t *testing.T) {
+	a := NewAddrAlloc(0x100)
+	slots := make([]gpu.Var, 4)
+	for i, addr := range a.Words(4) {
+		slots[i] = gpu.GlobalVar(addr)
+	}
+	q := QueueMutex{Tail: gpu.GlobalVar(a.Word()), Slots: slots}
+	vals := map[uint64]int64{}
+	q.InitUnlocked(func(addr mem.Addr, v int64) { vals[uint64(addr)] = v })
+	if vals[uint64(slots[0].Addr)] != 1 {
+		t.Fatal("first slot not unlocked by InitUnlocked")
+	}
+	if len(vals) != 1 {
+		t.Fatalf("InitUnlocked wrote %d words, want 1", len(vals))
+	}
+}
+
+func TestScopedVar(t *testing.T) {
+	g := scopedVar(0x40, gpu.Global, 3)
+	if g.Scope != gpu.Global || g.Group != 0 {
+		t.Errorf("global scopedVar = %+v", g)
+	}
+	l := scopedVar(0x40, gpu.Local, 3)
+	if l.Scope != gpu.Local || l.Group != 3 {
+		t.Errorf("local scopedVar = %+v", l)
+	}
+}
+
+func TestSkewedWorkDeterministicAndBounded(t *testing.T) {
+	p := testParams()
+	for wg := 0; wg < p.NumWGs; wg++ {
+		for i := 0; i < p.Iters; i++ {
+			a := skewedWork(p, wg, i)
+			b := skewedWork(p, wg, i)
+			if a != b {
+				t.Fatal("skewed work not deterministic")
+			}
+			if a < p.OutsideWork/2 || a > p.OutsideWork*4 {
+				t.Fatalf("skewed work %d outside [0.5x, 4x] of %d", a, p.OutsideWork)
+			}
+		}
+	}
+	// The skew must actually vary across WGs.
+	seen := map[uint64]bool{}
+	for wg := 0; wg < p.NumWGs; wg++ {
+		seen[uint64(skewedWork(p, wg, 0))] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("skew produced only %d distinct values across %d WGs", len(seen), p.NumWGs)
+	}
+}
+
+func TestExtensionsRegistered(t *testing.T) {
+	if len(Extensions()) != 2 {
+		t.Fatalf("Extensions() lists %d, want 2", len(Extensions()))
+	}
+	for _, name := range Extensions() {
+		b, err := Build(name, testParams())
+		if err != nil {
+			t.Errorf("Build(%s): %v", name, err)
+			continue
+		}
+		if b.Verify == nil {
+			t.Errorf("%s has no validation", name)
+		}
+	}
+}
+
+func TestSemaphoreInitPermits(t *testing.T) {
+	b, err := Build("Semaphore", testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[uint64]int64{}
+	b.Init(func(a mem.Addr, v int64) { vals[uint64(a)] = v })
+	found := false
+	for _, v := range vals {
+		if v == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("semaphore not initialized with its permit count")
+	}
+}

@@ -1,0 +1,171 @@
+package mem
+
+import "fmt"
+
+// Cache is a set-associative tag array with true-LRU replacement and
+// per-line pinning. It models presence only — data values live in the
+// System's word store — which is all the timing model needs.
+//
+// Pinning implements the paper's monitored-line behaviour: the SyncMon sets
+// a monitored bit in the L2 tag and "pins monitored cachelines such that
+// they are not evicted" (Section V.B). A pinned line is skipped during
+// victim selection; if every way in a set is pinned, the access bypasses
+// the cache (treated as a miss without allocation).
+type Cache struct {
+	sets     int
+	ways     int
+	lineSize int
+	lines    []cacheLine // sets*ways entries
+
+	hits, misses uint64
+	pinnedCount  int
+}
+
+type cacheLine struct {
+	tag    uint64
+	valid  bool
+	pinned bool
+	lru    uint64 // larger = more recently used
+}
+
+// NewCache builds a cache of the given total size, associativity and line
+// size. Size must be a multiple of ways*lineSize.
+func NewCache(sizeBytes, ways, lineSize int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 {
+		panic(fmt.Sprintf("mem: bad cache geometry %d/%d/%d", sizeBytes, ways, lineSize))
+	}
+	sets := sizeBytes / (ways * lineSize)
+	if sets == 0 || sizeBytes%(ways*lineSize) != 0 {
+		panic(fmt.Sprintf("mem: cache size %d not a multiple of ways*line %d", sizeBytes, ways*lineSize))
+	}
+	return &Cache{
+		sets:     sets,
+		ways:     ways,
+		lineSize: lineSize,
+		lines:    make([]cacheLine, sets*ways),
+	}
+}
+
+// Sets reports the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways reports the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Pinned reports how many lines are currently pinned.
+func (c *Cache) Pinned() int { return c.pinnedCount }
+
+var lruClock uint64
+
+func (c *Cache) index(a Addr) (set int, tag uint64) {
+	line := uint64(a) / uint64(c.lineSize)
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+func (c *Cache) set(i int) []cacheLine { return c.lines[i*c.ways : (i+1)*c.ways] }
+
+// Access looks up a. On a hit it refreshes LRU state and returns true. On a
+// miss it returns false and, when allocate is set, fills the line by
+// evicting the least recently used unpinned way (no allocation happens if
+// the whole set is pinned).
+func (c *Cache) Access(a Addr, allocate bool) bool {
+	set, tag := c.index(a)
+	ways := c.set(set)
+	lruClock++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = lruClock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if !allocate {
+		return false
+	}
+	victim := -1
+	for i := range ways {
+		if ways[i].pinned {
+			continue
+		}
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if victim == -1 || ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		return false // fully pinned set: bypass
+	}
+	ways[victim] = cacheLine{tag: tag, valid: true, lru: lruClock}
+	return false
+}
+
+// Contains reports whether a is resident, without touching LRU state.
+func (c *Cache) Contains(a Addr) bool {
+	set, tag := c.index(a)
+	for _, w := range c.set(set) {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Pin marks a's line as unevictable, allocating it first if absent. It
+// reports whether the pin took effect (it fails only if the set is already
+// fully pinned by other lines).
+func (c *Cache) Pin(a Addr) bool {
+	set, tag := c.index(a)
+	ways := c.set(set)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			if !ways[i].pinned {
+				ways[i].pinned = true
+				c.pinnedCount++
+			}
+			return true
+		}
+	}
+	c.Access(a, true)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].pinned = true
+			c.pinnedCount++
+			return true
+		}
+	}
+	return false
+}
+
+// Unpin clears the pin on a's line, making it evictable again.
+func (c *Cache) Unpin(a Addr) {
+	set, tag := c.index(a)
+	ways := c.set(set)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag && ways[i].pinned {
+			ways[i].pinned = false
+			c.pinnedCount--
+			return
+		}
+	}
+}
+
+// InvalidateAll drops every line, including pinned ones.
+func (c *Cache) InvalidateAll() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.pinnedCount = 0
+}
+
+// HitRate reports hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

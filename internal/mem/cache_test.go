@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache(32<<10, 16, 64) // Table 1 L1
+	if c.Sets() != 32 {
+		t.Fatalf("32KB/16-way/64B cache has %d sets, want 32", c.Sets())
+	}
+	c2 := NewCache(512<<10, 16, 64) // Table 1 L2
+	if c2.Sets() != 512 {
+		t.Fatalf("512KB/16-way/64B cache has %d sets, want 512", c2.Sets())
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry did not panic")
+		}
+	}()
+	NewCache(100, 16, 64)
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	if c.Access(0x40, true) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x40, true) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x7f, true) {
+		t.Fatal("same-line offset missed")
+	}
+	if c.Access(0x80, true) {
+		t.Fatal("different line hit")
+	}
+}
+
+func TestCacheNoAllocate(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	c.Access(0x40, false)
+	if c.Contains(0x40) {
+		t.Fatal("no-allocate access filled the line")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache, one set worth of conflicting lines: A, B fill the set;
+	// touching A then inserting C must evict B.
+	c := NewCache(128, 2, 64) // 1 set, 2 ways
+	a, b, d := Addr(0), Addr(64), Addr(128)
+	c.Access(a, true)
+	c.Access(b, true)
+	c.Access(a, true) // refresh A
+	c.Access(d, true) // evicts LRU = B
+	if !c.Contains(a) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.Contains(b) {
+		t.Fatal("LRU line survived eviction")
+	}
+	if !c.Contains(d) {
+		t.Fatal("newly inserted line absent")
+	}
+}
+
+func TestCachePinSurvivesConflicts(t *testing.T) {
+	c := NewCache(128, 2, 64) // 1 set, 2 ways
+	lock := Addr(0)
+	if !c.Pin(lock) {
+		t.Fatal("pin failed on empty set")
+	}
+	// Stream many conflicting lines through the set.
+	for i := 1; i <= 100; i++ {
+		c.Access(Addr(i*64), true)
+	}
+	if !c.Contains(lock) {
+		t.Fatal("pinned (monitored) line was evicted by conflict misses")
+	}
+	c.Unpin(lock)
+	for i := 101; i <= 300; i++ {
+		c.Access(Addr(i*64), true)
+	}
+	if c.Contains(lock) {
+		t.Fatal("unpinned line survived 200 conflicting fills in a 2-way set")
+	}
+}
+
+func TestCacheFullyPinnedSetBypasses(t *testing.T) {
+	c := NewCache(128, 2, 64) // 1 set, 2 ways
+	c.Pin(0)
+	c.Pin(64)
+	if c.Pinned() != 2 {
+		t.Fatalf("pinned %d lines, want 2", c.Pinned())
+	}
+	c.Access(128, true) // should bypass, not evict a pinned line
+	if c.Contains(128) {
+		t.Fatal("access allocated into a fully pinned set")
+	}
+	if !c.Contains(0) || !c.Contains(64) {
+		t.Fatal("pinned line lost in fully pinned set")
+	}
+	// A third pin in the same set must fail.
+	if c.Pin(128) {
+		t.Fatal("pin succeeded in a fully pinned set")
+	}
+}
+
+func TestCachePinIdempotent(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	c.Pin(0x40)
+	c.Pin(0x40)
+	if c.Pinned() != 1 {
+		t.Fatalf("double pin counted %d, want 1", c.Pinned())
+	}
+	c.Unpin(0x40)
+	c.Unpin(0x40)
+	if c.Pinned() != 0 {
+		t.Fatalf("double unpin counted %d, want 0", c.Pinned())
+	}
+}
+
+func TestCacheInvalidateAll(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	c.Pin(0x40)
+	c.Access(0x80, true)
+	c.InvalidateAll()
+	if c.Contains(0x40) || c.Contains(0x80) {
+		t.Fatal("lines survived InvalidateAll")
+	}
+	if c.Pinned() != 0 {
+		t.Fatalf("pinned count %d after InvalidateAll", c.Pinned())
+	}
+}
+
+// TestCacheProperty: after any access sequence, an immediate re-access of
+// the last allocated address must hit (working-set-of-one property), and
+// the number of valid lines never exceeds capacity.
+func TestCacheProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := NewCache(2048, 4, 64)
+		for _, a16 := range addrs {
+			a := Addr(a16)
+			c.Access(a, true)
+			if !c.Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := NewCache(1024, 2, 64)
+	if c.HitRate() != 0 {
+		t.Fatal("hit rate non-zero before any access")
+	}
+	c.Access(0, true)
+	c.Access(0, true)
+	if got := c.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %f, want 0.5", got)
+	}
+}

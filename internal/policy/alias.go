@@ -1,0 +1,6 @@
+package policy
+
+import "awgsim/internal/mem"
+
+// memAddr shortens the address type in selector plumbing.
+type memAddr = mem.Addr

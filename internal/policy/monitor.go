@@ -1,0 +1,402 @@
+package policy
+
+import (
+	"awgsim/internal/core"
+	"awgsim/internal/cp"
+	"awgsim/internal/event"
+	"awgsim/internal/gpu"
+	"awgsim/internal/syncmon"
+	"awgsim/internal/trace"
+)
+
+// ArmStyle selects how a waiting WG's condition reaches the SyncMon.
+type ArmStyle int
+
+const (
+	// ArmWaitInstr sends a separate wait instruction after the failed
+	// atomic's response, leaving the window of vulnerability of Section
+	// IV.C.iv: an update applied between the two is missed.
+	ArmWaitInstr ArmStyle = iota
+	// ArmWaitingAtomic registers the condition at the failing atomic's own
+	// bank-service instant — the race-free waiting atomics of Section IV.D.
+	ArmWaitingAtomic
+)
+
+// MonitorOptions configures a member of the monitor policy family.
+type MonitorOptions struct {
+	Name     string
+	Arm      ArmStyle
+	Sporadic bool                   // wake on any access, unchecked (MonRS)
+	Selector syncmon.ResumeSelector // resume-count decision
+	// StallPredict enables AWG's stall-period prediction: waiting WGs stall
+	// for a predicted period and only context switch when it expires unmet.
+	StallPredict bool
+	// Fallback is the safety-net timeout after which a waiting WG retries
+	// regardless of notifications (Mesa semantics demand rechecks anyway).
+	// Zero disables it — demonstrating the MonR deadlock of Figure 10.
+	Fallback event.Cycle
+	// SyncMon / CP geometry; zero values take the paper defaults.
+	SyncMonConfig *syncmon.Config
+	CPConfig      *cp.Config
+	// Predictor exposes AWG's predictor for counter reporting (optional;
+	// set when Selector is a *core.Predictor).
+	Predictor *core.Predictor
+}
+
+// Monitor is the unified monitor-family policy: MonRS-All, MonR-All,
+// MonNR-All, MonNR-One, MinResume and AWG are all instances.
+type Monitor struct {
+	opt MonitorOptions
+	m   *gpu.Machine
+	sm  *syncmon.SyncMon
+	cpp *cp.Processor
+
+	stallPred *core.StallPredictor
+}
+
+// NewMonRSAll builds the sporadic monitor with wait instructions.
+func NewMonRSAll() *Monitor {
+	return NewMonitor(MonitorOptions{
+		Name: "MonRS-All", Arm: ArmWaitInstr, Sporadic: true,
+		Selector: core.ResumeAll{}, Fallback: 50_000,
+	})
+}
+
+// NewMonRAll builds the condition-checking monitor with wait instructions
+// (window of vulnerability present; the fallback timeout papers over it).
+func NewMonRAll() *Monitor {
+	return NewMonitor(MonitorOptions{
+		Name: "MonR-All", Arm: ArmWaitInstr,
+		Selector: core.ResumeAll{}, Fallback: 50_000,
+	})
+}
+
+// NewMonNRAll builds the waiting-atomic monitor resuming all waiters.
+func NewMonNRAll() *Monitor {
+	return NewMonitor(MonitorOptions{
+		Name: "MonNR-All", Arm: ArmWaitingAtomic,
+		Selector: core.ResumeAll{}, Fallback: 50_000,
+	})
+}
+
+// NewMonNROne builds the waiting-atomic monitor resuming one waiter per
+// met condition; the others resume on later updates or their timeout.
+func NewMonNROne() *Monitor {
+	return NewMonitor(MonitorOptions{
+		Name: "MonNR-One", Arm: ArmWaitingAtomic,
+		Selector: core.ResumeOne{}, Fallback: 25_000,
+	})
+}
+
+// NewMinResume builds the oracle of Figure 9: waiting atomics with a
+// resume count that never wakes a WG whose retry cannot succeed.
+func NewMinResume() *Monitor {
+	return NewMonitor(MonitorOptions{
+		Name: "MinResume", Arm: ArmWaitingAtomic,
+		Selector: core.Oracle{}, Fallback: 50_000,
+	})
+}
+
+// NewAWG builds the paper's final design: waiting atomics, Bloom-filter
+// resume-count prediction, and stall-period prediction.
+func NewAWG() *Monitor {
+	pred := core.NewPredictor(core.DefaultPredictorConfig())
+	return NewMonitor(MonitorOptions{
+		Name: "AWG", Arm: ArmWaitingAtomic,
+		Selector: pred, Predictor: pred,
+		StallPredict: true, Fallback: 25_000,
+	})
+}
+
+// NewAWGNoStallPredict builds AWG without the stall-period predictor:
+// waiting WGs context switch out immediately whenever the machine is
+// oversubscribed, like MonNR, but keep the resume-count prediction. The
+// ablation experiment quantifies what the stall predictor buys.
+func NewAWGNoStallPredict() *Monitor {
+	pred := core.NewPredictor(core.DefaultPredictorConfig())
+	return NewMonitor(MonitorOptions{
+		Name: "AWG-nostall", Arm: ArmWaitingAtomic,
+		Selector: pred, Predictor: pred,
+		Fallback: 25_000,
+	})
+}
+
+// NewAWGNoResumePredict builds AWG without the Bloom resume-count
+// predictor (resume-all semantics) but with stall-period prediction — the
+// other half of the ablation.
+func NewAWGNoResumePredict() *Monitor {
+	return NewMonitor(MonitorOptions{
+		Name: "AWG-nopredict", Arm: ArmWaitingAtomic,
+		Selector:     core.ResumeAll{},
+		StallPredict: true, Fallback: 25_000,
+	})
+}
+
+// NewAWGNoCache builds AWG with the SyncMon condition cache disabled, so
+// every waiting condition spills to the Monitor Log and the CP carries the
+// full scheduling state — the measurement configuration of Figure 13.
+func NewAWGNoCache() *Monitor {
+	pred := core.NewPredictor(core.DefaultPredictorConfig())
+	smCfg := syncmon.DefaultConfig()
+	smCfg.Sets = 0
+	smCfg.WaitListSize = 0
+	smCfg.LogCapacity = 16384
+	return NewMonitor(MonitorOptions{
+		Name: "AWG-nocache", Arm: ArmWaitingAtomic,
+		Selector: pred, Predictor: pred,
+		StallPredict: true, Fallback: 25_000,
+		SyncMonConfig: &smCfg,
+	})
+}
+
+// NewMonitor builds a custom monitor-family member.
+func NewMonitor(opt MonitorOptions) *Monitor {
+	if opt.Selector == nil {
+		opt.Selector = core.ResumeAll{}
+	}
+	return &Monitor{opt: opt}
+}
+
+func (p *Monitor) Name() string { return p.opt.Name }
+
+// Attach wires the SyncMon and CP onto the machine.
+func (p *Monitor) Attach(m *gpu.Machine) {
+	p.m = m
+	smCfg := syncmon.DefaultConfig()
+	if p.opt.SyncMonConfig != nil {
+		smCfg = *p.opt.SyncMonConfig
+	}
+	smCfg.Sporadic = p.opt.Sporadic
+	p.sm = syncmon.New(smCfg, m, p.countingSelector(), p.onWake)
+	cpCfg := cp.DefaultConfig()
+	if p.opt.CPConfig != nil {
+		cpCfg = *p.opt.CPConfig
+	}
+	p.cpp = cp.New(cpCfg, m, p.sm.Log(), p.onWake)
+	p.cpp.Start(func() bool { return !m.Done() })
+	if p.opt.StallPredict {
+		// Predictions are clamped between one L2 round trip and the
+		// context-switch break-even: once the expected wait costs more
+		// than saving and restoring the context, the WG should yield
+		// immediately rather than squat on its CU.
+		p.stallPred = core.NewStallPredictor(256, 3_000)
+	}
+}
+
+// countingSelector wraps the configured selector so machine counters see
+// the predictor's decisions.
+func (p *Monitor) countingSelector() syncmon.ResumeSelector {
+	return &selectorCounter{inner: p.opt.Selector, p: p}
+}
+
+type selectorCounter struct {
+	inner syncmon.ResumeSelector
+	p     *Monitor
+}
+
+func (s *selectorCounter) ObserveUpdate(a memAddr, v int64) { s.inner.ObserveUpdate(a, v) }
+func (s *selectorCounter) AddressUnmonitored(a memAddr) {
+	s.inner.AddressUnmonitored(a)
+	if s.p.opt.Predictor != nil {
+		s.p.m.Count.BloomResets = s.p.opt.Predictor.Resets
+	}
+}
+func (s *selectorCounter) Select(a memAddr, want int64, classes []syncmon.OpClass) int {
+	n := s.inner.Select(a, want, classes)
+	if s.p.opt.Predictor != nil {
+		s.p.m.Count.PredictAll = s.p.opt.Predictor.PredictedAll
+		s.p.m.Count.PredictOne = s.p.opt.Predictor.PredictedOne
+	}
+	return n
+}
+
+// episode is one in-flight wait; it lives in the WG's PolicyData slot.
+type episode struct {
+	v            gpu.Var
+	op           gpu.AtomicOp
+	a, b, want   int64
+	cmp          gpu.Cmp
+	done         func(int64)
+	waiting      bool
+	justWoken    bool
+	earlyWake    bool // notification arrived before enterWait ran
+	registeredAt event.Cycle
+}
+
+func (p *Monitor) Wait(w *gpu.WG, v gpu.Var, op gpu.AtomicOp, a, b, want int64, cmp gpu.Cmp, _ gpu.WaitHint, done func(int64)) {
+	ep := &episode{v: v, op: op, a: a, b: b, want: want, cmp: cmp, done: done}
+	w.PolicyData = ep
+	p.attempt(w, ep)
+}
+
+func (ep *episode) activeFor(w *gpu.WG) bool {
+	cur, _ := w.PolicyData.(*episode)
+	return cur == ep && ep.waiting
+}
+
+func (p *Monitor) finish(w *gpu.WG, ep *episode, ret int64) {
+	ep.waiting = false
+	w.PolicyData = nil
+	ep.done(ret)
+}
+
+// attempt issues the synchronization atomic once and routes the outcome.
+func (p *Monitor) attempt(w *gpu.WG, ep *episode) {
+	p.m.SetStalled(w, false)
+	if p.opt.Arm == ArmWaitingAtomic {
+		reg := syncmon.RegisterResult(-1)
+		p.m.IssueAtomic(w, ep.v, ep.op, ep.a, ep.b, func(old, _ int64) {
+			if !ep.cmp.Test(old, ep.want) {
+				// Race-free: same bank-service instant as the op itself.
+				reg = p.sm.Register(w.ID(), ep.v, ep.want, ep.cmp, syncmon.ClassOf(ep.op))
+			}
+		}, func(ret int64) {
+			p.resolve(w, ep, ret, reg)
+		})
+		return
+	}
+	// Wait-instruction style: plain atomic, then a separate arm. Updates
+	// applied between the atomic's service and the arm's service are
+	// missed — the window of vulnerability.
+	p.m.IssueAtomic(w, ep.v, ep.op, ep.a, ep.b, nil, func(ret int64) {
+		if ep.cmp.Test(ret, ep.want) {
+			p.resolve(w, ep, ret, -1)
+			return
+		}
+		reg := syncmon.RegisterResult(-1)
+		p.m.IssueArm(w, ep.v, func() {
+			reg = p.sm.Register(w.ID(), ep.v, ep.want, ep.cmp, syncmon.ClassOf(ep.op))
+		}, func() {
+			p.resolve(w, ep, ret, reg)
+		})
+	})
+}
+
+// resolve handles an attempt's response given its registration outcome.
+func (p *Monitor) resolve(w *gpu.WG, ep *episode, ret int64, reg syncmon.RegisterResult) {
+	if ep.cmp.Test(ret, ep.want) {
+		if ep.justWoken && p.stallPred != nil {
+			p.stallPred.Record(ep.v.Addr.WordAligned(), p.m.Engine().Now()-ep.registeredAt)
+		}
+		p.finish(w, ep, ret)
+		return
+	}
+	if ep.justWoken {
+		// A notification resumed us but the retry failed: the wake was
+		// wasted (sporadic hint, or contention stole the acquire).
+		p.m.Count.WastedResumes++
+		ep.justWoken = false
+	}
+	switch reg {
+	case syncmon.Registered, syncmon.Spilled:
+		if ep.earlyWake {
+			// The condition was met (and our registration consumed) in the
+			// window between the atomic's bank service and its response
+			// reaching the CU; the resume message is already here, so retry
+			// instead of waiting.
+			ep.earlyWake = false
+			ep.justWoken = true
+			p.m.Engine().After(event.Cycle(p.m.Config().PollOverhead), func() {
+				p.attempt(w, ep)
+			})
+			return
+		}
+		p.enterWait(w, ep)
+	default: // Rejected (log full) — Mesa semantics: keep retrying.
+		p.m.Engine().After(event.Cycle(p.m.Config().PollOverhead)+64, func() {
+			p.attempt(w, ep)
+		})
+	}
+}
+
+// enterWait parks the registered waiter: stalled on its CU, or context
+// switched out when the machine is oversubscribed (after AWG's predicted
+// stall period, when enabled).
+func (p *Monitor) enterWait(w *gpu.WG, ep *episode) {
+	ep.waiting = true
+	ep.registeredAt = p.m.Engine().Now()
+	p.m.Count.Stalls++
+	p.m.SetStalled(w, true)
+
+	if p.m.Oversubscribed() {
+		if p.stallPred != nil {
+			// AWG: stall for the predicted period first; switch out only
+			// if the condition is still unmet when it expires.
+			d := p.stallPred.Predict(ep.v.Addr.WordAligned())
+			p.m.Engine().After(d, func() {
+				if ep.activeFor(w) && w.Resident() && p.m.Oversubscribed() {
+					p.m.SwitchOut(w)
+				}
+			})
+		} else {
+			p.m.SwitchOut(w)
+		}
+	}
+
+	if p.opt.Fallback > 0 {
+		var fire func()
+		fire = func() {
+			if !ep.activeFor(w) {
+				return
+			}
+			if !w.Resident() {
+				// Context-switched waiter: switching it in just to poll
+				// would thrash the dispatcher, so the CP re-checks the
+				// condition on its behalf with an L2 read and restores the
+				// WG only if the condition actually holds.
+				p.m.IssueAtomic(nil, gpu.GlobalVar(ep.v.Addr), gpu.OpLoad, 0, 0, nil, func(val int64) {
+					if !ep.activeFor(w) {
+						return
+					}
+					if !ep.cmp.Test(val, ep.want) {
+						p.m.Engine().After(p.opt.Fallback, fire)
+						return
+					}
+					p.sm.Unregister(w.ID(), ep.v, ep.want, ep.cmp)
+					p.cpp.Unregister(w.ID(), ep.v, ep.want, ep.cmp)
+					p.m.Count.Timeouts++
+					p.m.Trace(w, trace.TimeoutFire)
+					ep.waiting = false
+					ep.justWoken = true
+					p.m.Deliver(w, func() { p.attempt(w, ep) })
+				})
+				return
+			}
+			// Stalled on the CU: withdraw the registration and recheck
+			// ourselves ("eventually the stalled WGs will time out and be
+			// activated").
+			p.sm.Unregister(w.ID(), ep.v, ep.want, ep.cmp)
+			p.cpp.Unregister(w.ID(), ep.v, ep.want, ep.cmp)
+			p.m.Count.Timeouts++
+			p.m.Trace(w, trace.TimeoutFire)
+			ep.waiting = false
+			p.m.Deliver(w, func() { p.attempt(w, ep) })
+		}
+		d := p.opt.Fallback + event.Cycle(p.m.Jitter(uint64(p.opt.Fallback/4+1)))
+		p.m.Engine().After(d, fire)
+	}
+}
+
+// onWake receives SyncMon and CP notifications.
+func (p *Monitor) onWake(id gpu.WGID, addr memAddr, want int64, met bool) {
+	w := p.m.WGs()[id]
+	ep, _ := w.PolicyData.(*episode)
+	if ep == nil || ep.v.Addr.WordAligned() != addr || ep.want != want {
+		return // stale notification; the episode already ended
+	}
+	if !ep.waiting {
+		// The waiting atomic's response is still in flight back to the CU:
+		// latch the resume so resolve() retries instead of waiting.
+		ep.earlyWake = true
+		p.m.Count.Resumes++
+		return
+	}
+	ep.waiting = false
+	ep.justWoken = true
+	p.m.Count.Resumes++
+	p.m.Trace(w, trace.Resume)
+	if p.stallPred != nil && met {
+		p.stallPred.Record(addr, p.m.Engine().Now()-ep.registeredAt)
+	}
+	p.m.Deliver(w, func() { p.attempt(w, ep) })
+}

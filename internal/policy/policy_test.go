@@ -1,0 +1,411 @@
+package policy_test
+
+import (
+	"testing"
+
+	"awgsim/internal/cp"
+	"awgsim/internal/event"
+	"awgsim/internal/gpu"
+	"awgsim/internal/mem"
+	"awgsim/internal/metrics"
+	"awgsim/internal/policy"
+	"awgsim/internal/syncmon"
+)
+
+func testConfig() gpu.Config {
+	cfg := gpu.DefaultConfig()
+	cfg.NumCUs = 2
+	cfg.MaxWGsPerCU = 4
+	cfg.ProgressWindow = 300_000
+	cfg.MaxCycles = 50_000_000
+	return cfg
+}
+
+// producerConsumer builds a kernel where WG 0 stores `val` into flag after
+// `delay` cycles and every other WG waits for it.
+func producerConsumer(numWGs int, delay event.Cycle, flag mem.Addr, val int64) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name: "pc", NumWGs: numWGs, WIsPerWG: 64,
+		Program: func(d gpu.Device) {
+			v := gpu.GlobalVar(flag)
+			if d.ID() == 0 {
+				d.Compute(delay)
+				d.AtomicStore(v, val)
+				return
+			}
+			d.AwaitEq(v, val)
+		},
+	}
+}
+
+// lockContender builds a kernel where every WG takes a test-and-set lock a
+// few times around a shared counter.
+func lockContender(numWGs, iters int, lock, counter mem.Addr) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name: "lock", NumWGs: numWGs, WIsPerWG: 64,
+		Program: func(d gpu.Device) {
+			v := gpu.GlobalVar(lock)
+			for i := 0; i < iters; i++ {
+				d.AcquireExch(v, 1, 0)
+				x := d.Load(counter)
+				d.Compute(100)
+				d.Store(counter, x+1)
+				d.AtomicExch(v, 0)
+			}
+		},
+	}
+}
+
+func run(t *testing.T, spec *gpu.KernelSpec, pol gpu.Policy) (metrics.Result, *gpu.Machine) {
+	t.Helper()
+	m, err := gpu.NewMachine(testConfig(), mem.DefaultConfig(), spec, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run(), m
+}
+
+// Every policy must complete both canonical synchronization shapes and
+// preserve lock-protected data.
+func TestEveryPolicyCompletesAndIsCorrect(t *testing.T) {
+	mk := map[string]func() gpu.Policy{
+		"Baseline":  func() gpu.Policy { return policy.NewBaseline() },
+		"Sleep":     func() gpu.Policy { return policy.NewSleep("Sleep", 16_000) },
+		"Timeout":   func() gpu.Policy { return policy.NewTimeout("Timeout", 10_000) },
+		"MonRS-All": func() gpu.Policy { return policy.NewMonRSAll() },
+		"MonR-All":  func() gpu.Policy { return policy.NewMonRAll() },
+		"MonNR-All": func() gpu.Policy { return policy.NewMonNRAll() },
+		"MonNR-One": func() gpu.Policy { return policy.NewMonNROne() },
+		"AWG":       func() gpu.Policy { return policy.NewAWG() },
+		"MinResume": func() gpu.Policy { return policy.NewMinResume() },
+	}
+	for name, build := range mk {
+		t.Run(name+"/producer-consumer", func(t *testing.T) {
+			res, m := run(t, producerConsumer(8, 5000, 0x1000, 9), build())
+			if res.Deadlocked {
+				t.Fatal("deadlocked")
+			}
+			if got := m.Mem().Read(0x1000); got != 9 {
+				t.Fatalf("flag = %d", got)
+			}
+		})
+		t.Run(name+"/mutex", func(t *testing.T) {
+			res, m := run(t, lockContender(8, 4, 0x2000, 0x2040), build())
+			if res.Deadlocked {
+				t.Fatal("deadlocked")
+			}
+			if got := m.Mem().Read(0x2040); got != 32 {
+				t.Fatalf("counter = %d, want 32 (lost update under %s)", got, name)
+			}
+		})
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, tc := range []struct {
+		pol  gpu.Policy
+		want string
+	}{
+		{policy.NewBaseline(), "Baseline"},
+		{policy.NewSleep("Sleep-8k", 8000), "Sleep-8k"},
+		{policy.NewTimeout("Timeout-10k", 10_000), "Timeout-10k"},
+		{policy.NewMonRSAll(), "MonRS-All"},
+		{policy.NewMonRAll(), "MonR-All"},
+		{policy.NewMonNRAll(), "MonNR-All"},
+		{policy.NewMonNROne(), "MonNR-One"},
+		{policy.NewAWG(), "AWG"},
+		{policy.NewMinResume(), "MinResume"},
+		{policy.NewAWGNoCache(), "AWG-nocache"},
+	} {
+		if got := tc.pol.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestWindowOfVulnerability demonstrates the Figure 10 race: with wait
+// instructions (MonR) and the safety-net timeout disabled, an update that
+// lands between the failed atomic and the monitor arming is lost for good
+// and the kernel deadlocks. Waiting atomics (MonNR) registering at the
+// atomic's own bank instant are immune.
+func TestWindowOfVulnerability(t *testing.T) {
+	// The producer fires while consumers are mid-arming: a short delay
+	// maximizes the overlap; run several delays to land in the window.
+	raceyRun := func(build func() gpu.Policy) bool {
+		deadlocked := false
+		for _, delay := range []event.Cycle{60, 100, 140, 180, 220} {
+			cfg := testConfig()
+			cfg.ProgressWindow = 100_000
+			spec := producerConsumer(8, delay, 0x3000, 1)
+			m, err := gpu.NewMachine(cfg, mem.DefaultConfig(), spec, build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Run().Deadlocked {
+				deadlocked = true
+			}
+		}
+		return deadlocked
+	}
+	monRNoFallback := func() gpu.Policy {
+		return policy.NewMonitor(policy.MonitorOptions{
+			Name: "MonR-NoFallback", Arm: policy.ArmWaitInstr, Fallback: 0,
+		})
+	}
+	monNRNoFallback := func() gpu.Policy {
+		return policy.NewMonitor(policy.MonitorOptions{
+			Name: "MonNR-NoFallback", Arm: policy.ArmWaitingAtomic, Fallback: 0,
+		})
+	}
+	if !raceyRun(monRNoFallback) {
+		t.Error("MonR without fallback never lost a wake-up across the race window")
+	}
+	if raceyRun(monNRNoFallback) {
+		t.Error("waiting atomics lost a wake-up; registration is supposed to be race-free")
+	}
+}
+
+// TestMonRFallbackPapersOverRace: with the fallback enabled, MonR survives
+// the same schedule, at the cost of counted timeouts.
+func TestMonRFallbackPapersOverRace(t *testing.T) {
+	cfg := testConfig()
+	spec := producerConsumer(8, 100, 0x4000, 1)
+	m, err := gpu.NewMachine(cfg, mem.DefaultConfig(), spec, policy.NewMonRAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("MonR-All with fallback deadlocked")
+	}
+}
+
+// TestFig12Walkthrough exercises the full AWG mechanism of Figure 12 in one
+// scenario: waiting atomics register in a deliberately tiny SyncMon, spill
+// through the Monitor Log, the CP drains and checks them, and the WGs are
+// resumed when the producer writes.
+func TestFig12Walkthrough(t *testing.T) {
+	smCfg := syncmon.DefaultConfig()
+	smCfg.Sets = 1
+	smCfg.Ways = 1 // one cached condition; everyone else spills
+	cpCfg := cp.DefaultConfig()
+	cpCfg.DrainInterval = 2_000
+	cpCfg.CheckInterval = 2_000
+	pol := policy.NewMonitor(policy.MonitorOptions{
+		Name: "AWG-tiny", Arm: policy.ArmWaitingAtomic,
+		Fallback:      50_000,
+		SyncMonConfig: &smCfg, CPConfig: &cpCfg,
+	})
+	// Consumers wait on distinct flags so their conditions cannot share the
+	// single SyncMon entry.
+	const base = mem.Addr(0x5000)
+	spec := &gpu.KernelSpec{
+		Name: "walkthrough", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d gpu.Device) {
+			if d.ID() == 0 {
+				d.Compute(20_000)
+				for i := 1; i < 8; i++ {
+					d.AtomicStore(gpu.GlobalVar(base+mem.Addr(i*64)), 1)
+				}
+				return
+			}
+			d.AwaitEq(gpu.GlobalVar(base+mem.Addr(int(d.ID())*64)), 1)
+		},
+	}
+	m, err := gpu.NewMachine(testConfig(), mem.DefaultConfig(), spec, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("walkthrough deadlocked")
+	}
+	if res.LogSpills == 0 {
+		t.Fatal("no conditions spilled through the Monitor Log")
+	}
+	if res.Resumes+res.Timeouts == 0 {
+		t.Fatal("no waiter was ever resumed")
+	}
+}
+
+// TestMesaRetryOnFullLog: when both the SyncMon and the Monitor Log are
+// full, the waiting atomic fails without entering a waiting state and the
+// WG retries (Mesa semantics) — the kernel still completes.
+func TestMesaRetryOnFullLog(t *testing.T) {
+	smCfg := syncmon.DefaultConfig()
+	smCfg.Sets = 0
+	smCfg.WaitListSize = 0
+	smCfg.LogCapacity = 1 // effectively everything is rejected
+	pol := policy.NewMonitor(policy.MonitorOptions{
+		Name: "AWG-fullog", Arm: policy.ArmWaitingAtomic,
+		Fallback:      25_000,
+		SyncMonConfig: &smCfg,
+	})
+	spec := producerConsumer(8, 10_000, 0x6000, 1)
+	m, err := gpu.NewMachine(testConfig(), mem.DefaultConfig(), spec, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked with full log")
+	}
+	if res.LogRejects == 0 {
+		t.Fatal("no Mesa rejections recorded")
+	}
+}
+
+// TestSleepBacksOffExponentially: a longer max backoff must reduce the
+// number of retry atomics for a long wait.
+func TestSleepBacksOffExponentially(t *testing.T) {
+	atomicsWith := func(max event.Cycle) uint64 {
+		spec := producerConsumer(2, 60_000, 0x7000, 1)
+		res, _ := run(t, spec, policy.NewSleep("Sleep", max))
+		if res.Deadlocked {
+			t.Fatal("deadlocked")
+		}
+		return res.Atomics
+	}
+	short, long := atomicsWith(1_000), atomicsWith(64_000)
+	if long >= short {
+		t.Fatalf("backoff cap 64k used %d atomics, cap 1k used %d — no reduction", long, short)
+	}
+}
+
+// TestTimeoutYieldsWhenOversubscribed: with more WGs than slots, the
+// Timeout policy must context switch waiters out so pending WGs can run.
+func TestTimeoutYieldsWhenOversubscribed(t *testing.T) {
+	cfg := testConfig() // 8 slots
+	spec := producerConsumer(12, 50_000, 0x8000, 1)
+	m, err := gpu.NewMachine(cfg, mem.DefaultConfig(), spec, policy.NewTimeout("Timeout", 5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if res.SwitchesOut == 0 {
+		t.Fatal("oversubscribed Timeout never context switched")
+	}
+}
+
+// TestBaselineDeadlocksWhenOversubscribed: with more WGs than slots and
+// the producer dispatched last, busy-waiting consumers hold every slot and
+// the producer never runs — the motivating deadlock of the paper.
+func TestBaselineDeadlocksWhenOversubscribed(t *testing.T) {
+	cfg := testConfig() // 8 slots
+	cfg.ProgressWindow = 150_000
+	const flag = mem.Addr(0x9000)
+	spec := &gpu.KernelSpec{
+		Name: "inverted-pc", NumWGs: 12, WIsPerWG: 64,
+		Program: func(d gpu.Device) {
+			v := gpu.GlobalVar(flag)
+			if int(d.ID()) == 11 { // producer is the last WG dispatched
+				d.AtomicStore(v, 1)
+				return
+			}
+			d.AwaitEq(v, 1)
+		},
+	}
+	m, err := gpu.NewMachine(cfg, mem.DefaultConfig(), spec, policy.NewBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if !res.Deadlocked {
+		t.Fatal("baseline completed an oversubscribed dependent kernel — impossible without IFP")
+	}
+	// The same kernel under AWG completes: waiting WGs yield their slots.
+	m2, err := gpu.NewMachine(cfg, mem.DefaultConfig(), spec, policy.NewAWG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 := m2.Run(); res2.Deadlocked {
+		t.Fatal("AWG deadlocked where it must provide forward progress")
+	}
+}
+
+// TestMonNROneServializesMutexHandoff: resume-one must wake exactly one
+// waiter per release, so wasted resumes stay near zero on a mutex, while
+// resume-all wakes the whole herd.
+func TestMonNROneAvoidsHerd(t *testing.T) {
+	one, _ := run(t, lockContender(8, 6, 0xa000, 0xa040), policy.NewMonNROne())
+	all, _ := run(t, lockContender(8, 6, 0xb000, 0xb040), policy.NewMonNRAll())
+	if one.Deadlocked || all.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if one.WastedResumes >= all.WastedResumes {
+		t.Fatalf("resume-one wasted %d resumes, resume-all %d — herd not visible",
+			one.WastedResumes, all.WastedResumes)
+	}
+}
+
+// ticketContender builds a centralized ticket-lock kernel: every waiter
+// waits on its own condition of one now-serving variable — the shape on
+// which sporadic notifications are maximally wasteful (Figure 9).
+func ticketContender(numWGs, iters int, tail, serving mem.Addr) *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name: "ticket", NumWGs: numWGs, WIsPerWG: 64,
+		Program: func(d gpu.Device) {
+			for i := 0; i < iters; i++ {
+				tkt := d.AtomicAdd(gpu.GlobalVar(tail), 1)
+				d.AwaitGE(gpu.GlobalVar(serving), tkt)
+				d.Compute(200)
+				d.AtomicAdd(gpu.GlobalVar(serving), 1)
+			}
+		},
+	}
+}
+
+// TestSporadicWakesAreWasteful: a checking monitor wakes exactly the served
+// ticket holder per release; the sporadic monitor wakes every registered
+// waiter on every access — the Figure 9 wait-efficiency gap.
+func TestSporadicWakesAreWasteful(t *testing.T) {
+	rs, _ := run(t, ticketContender(8, 6, 0xc000, 0xc040), policy.NewMonRSAll())
+	r, _ := run(t, ticketContender(8, 6, 0xd000, 0xd040), policy.NewMonRAll())
+	if rs.Deadlocked || r.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if rs.Atomics <= r.Atomics {
+		t.Fatalf("sporadic atomics (%d) not above checking atomics (%d)", rs.Atomics, r.Atomics)
+	}
+	if rs.WastedResumes <= r.WastedResumes {
+		t.Fatalf("sporadic wasted resumes (%d) not above checking (%d)",
+			rs.WastedResumes, r.WastedResumes)
+	}
+}
+
+// TestAWGPredictorActivity: AWG must actually exercise its predictor on a
+// mixed mutex+barrier kernel.
+func TestAWGPredictorActivity(t *testing.T) {
+	const lock, counter, bar = mem.Addr(0xe000), mem.Addr(0xe040), mem.Addr(0xe080)
+	spec := &gpu.KernelSpec{
+		Name: "mixed", NumWGs: 8, WIsPerWG: 64,
+		Program: func(d gpu.Device) {
+			for i := 0; i < 4; i++ {
+				d.AcquireExch(gpu.GlobalVar(lock), 1, 0)
+				x := d.Load(counter)
+				d.Compute(200)
+				d.Store(counter, x+1)
+				d.AtomicExch(gpu.GlobalVar(lock), 0)
+				// Barrier: counter sweep.
+				v := gpu.GlobalVar(bar)
+				target := int64((i + 1) * 8)
+				if d.AtomicAdd(v, 1)+1 != target {
+					d.AwaitGE(v, target)
+				}
+			}
+		},
+	}
+	res, m := run(t, spec, policy.NewAWG())
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if got := m.Mem().Read(counter); got != 32 {
+		t.Fatalf("counter = %d, want 32", got)
+	}
+	if res.PredictAll+res.PredictOne == 0 {
+		t.Fatal("AWG predictor never consulted")
+	}
+}

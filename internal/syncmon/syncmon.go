@@ -1,0 +1,460 @@
+// Package syncmon implements the paper's Synchronization Monitor: the
+// hardware block attached to the GPU L2 that tracks waiting conditions
+// (address, expected-value pairs), the waiting-WG list, the monitored bit
+// per L2 tag (with line pinning), and the Monitor Log through which the
+// structure virtualizes its finite capacity into global memory
+// (Section V.A).
+//
+// The SyncMon observes every atomic at bank-service time. In checking mode
+// (MonR/MonNR/AWG) it evaluates waiting conditions against the updated
+// value and resumes the number of waiters a ResumeSelector chooses; in
+// sporadic mode (MonRS) it wakes every waiter registered on an address the
+// moment the address is touched, without checking — the relaxed
+// monitor/mwait-style semantics the paper shows to be dominated by
+// unnecessary resumes.
+package syncmon
+
+import (
+	"fmt"
+
+	"awgsim/internal/gpu"
+	"awgsim/internal/hashutil"
+	"awgsim/internal/mem"
+)
+
+// OpClass coarsely classifies what a waiter will do when resumed: re-try a
+// read (every such waiter can succeed at once) or re-try a read-modify-write
+// acquire (only one can succeed). The MinResume oracle keys off this.
+type OpClass int
+
+const (
+	ClassLoad OpClass = iota
+	ClassRMW
+)
+
+// ClassOf maps an atomic op to its class.
+func ClassOf(op gpu.AtomicOp) OpClass {
+	if op == gpu.OpLoad {
+		return ClassLoad
+	}
+	return ClassRMW
+}
+
+// ResumeSelector decides how many of a met condition's waiters resume.
+// AWG's Bloom-filter predictor, the fixed all/one policies, and the oracle
+// all implement this.
+type ResumeSelector interface {
+	// ObserveUpdate is called for every write-class atomic applied to a
+	// monitored address.
+	ObserveUpdate(addr mem.Addr, newVal int64)
+	// Select returns how many of the condition's waiters to resume, in
+	// [1, waiters]. classes lists the waiters' op classes in queue order.
+	Select(addr mem.Addr, want int64, classes []OpClass) int
+	// AddressUnmonitored is called when an address loses its last waiting
+	// condition, letting predictors reset per-address state.
+	AddressUnmonitored(addr mem.Addr)
+}
+
+// RegisterResult reports where a waiter's condition landed.
+type RegisterResult int
+
+const (
+	// Registered: the condition and waiter fit in the SyncMon cache.
+	Registered RegisterResult = iota
+	// Spilled: SyncMon capacity was exhausted; the entry went to the
+	// Monitor Log and the CP will check it periodically.
+	Spilled
+	// Rejected: the Monitor Log is full too. Per the paper's Mesa
+	// semantics the WG does not enter a waiting state and must retry its
+	// waiting atomic.
+	Rejected
+)
+
+func (r RegisterResult) String() string {
+	switch r {
+	case Registered:
+		return "registered"
+	case Spilled:
+		return "spilled"
+	default:
+		return "rejected"
+	}
+}
+
+// Config sizes the SyncMon per Section V.C: a 4-way, 256-set condition
+// cache (1024 conditions) and a 512-entry waiting-WG list.
+type Config struct {
+	Sets         int // condition cache sets (256)
+	Ways         int // condition cache ways (4)
+	WaitListSize int // waiting WG list capacity (512)
+	LogCapacity  int // Monitor Log entries (circular buffer in memory)
+	Seed         uint64
+	Sporadic     bool // wake on any access without checking conditions
+}
+
+// DefaultConfig returns the paper's geometry.
+func DefaultConfig() Config {
+	return Config{Sets: 256, Ways: 4, WaitListSize: 512, LogCapacity: 4096, Seed: 0x5eed}
+}
+
+// WakeFunc delivers a resume notification to the scheduling policy. met
+// reports whether the SyncMon verified the waiter's condition (false for
+// sporadic notifications, which are hints in the Mesa sense).
+type WakeFunc func(wg gpu.WGID, addr mem.Addr, want int64, met bool)
+
+type waiter struct {
+	wg    gpu.WGID
+	class OpClass
+}
+
+type condEntry struct {
+	addr    mem.Addr
+	want    int64
+	cmp     gpu.Cmp
+	waiters []waiter
+}
+
+// LogEntry is one spilled waiting condition: "the monitored address, the
+// waiting value, and the waiting WG ID".
+type LogEntry struct {
+	Addr mem.Addr
+	Want int64
+	Cmp  gpu.Cmp
+	WG   gpu.WGID
+}
+
+// MonitorLog is the circular buffer in global memory the SyncMon spills to
+// and the CP drains.
+type MonitorLog struct {
+	entries []LogEntry
+	dead    []bool
+	head    int
+	size    int
+	maxSize int
+}
+
+// NewMonitorLog builds a log with the given capacity.
+func NewMonitorLog(capacity int) *MonitorLog {
+	return &MonitorLog{entries: make([]LogEntry, capacity), dead: make([]bool, capacity)}
+}
+
+// Push appends an entry; it reports false when the log is full.
+func (l *MonitorLog) Push(e LogEntry) bool {
+	if l.size == len(l.entries) {
+		return false
+	}
+	tail := (l.head + l.size) % len(l.entries)
+	l.entries[tail] = e
+	l.dead[tail] = false
+	l.size++
+	if l.size > l.maxSize {
+		l.maxSize = l.size
+	}
+	return true
+}
+
+// Pop removes and returns the oldest live entry.
+func (l *MonitorLog) Pop() (LogEntry, bool) {
+	for l.size > 0 {
+		e, dead := l.entries[l.head], l.dead[l.head]
+		l.head = (l.head + 1) % len(l.entries)
+		l.size--
+		if !dead {
+			return e, true
+		}
+	}
+	return LogEntry{}, false
+}
+
+// Len reports the live entry count (including tombstones until popped).
+func (l *MonitorLog) Len() int { return l.size }
+
+// MaxLen reports the high-water occupancy.
+func (l *MonitorLog) MaxLen() int { return l.maxSize }
+
+// Remove tombstones all entries for the given waiter/condition (used when a
+// waiter's timeout fires before the CP drains it).
+func (l *MonitorLog) Remove(wg gpu.WGID, addr mem.Addr, want int64) {
+	for i := 0; i < l.size; i++ {
+		idx := (l.head + i) % len(l.entries)
+		e := l.entries[idx]
+		if !l.dead[idx] && e.WG == wg && e.Addr == addr && e.Want == want {
+			l.dead[idx] = true
+		}
+	}
+}
+
+// SyncMon is the monitor block. It subscribes to the machine's atomic
+// stream and owns the condition cache, waiting list and Monitor Log.
+type SyncMon struct {
+	cfg      Config
+	m        *gpu.Machine
+	hash     hashutil.Universal
+	sets     [][]*condEntry // Sets x (up to Ways entries)
+	waiters  int            // total waiters in the cache
+	log      *MonitorLog
+	selector ResumeSelector
+	wake     WakeFunc
+
+	monitored map[mem.Addr]int          // conditions per address (cache only)
+	byAddr    map[mem.Addr][]*condEntry // address index over the cache
+
+	// High-water marks for Figure 13 / the hardware-overhead analysis.
+	maxConds, maxWaiters, maxMonitored int
+	conds                              int
+}
+
+// New builds a SyncMon on machine m. selector picks resume counts in
+// checking mode (ignored when cfg.Sporadic); wake delivers notifications.
+func New(cfg Config, m *gpu.Machine, selector ResumeSelector, wake WakeFunc) *SyncMon {
+	if cfg.Sets < 0 || cfg.Ways <= 0 || cfg.WaitListSize < 0 || cfg.LogCapacity <= 0 {
+		panic(fmt.Sprintf("syncmon: bad config %+v", cfg))
+	}
+	s := &SyncMon{
+		cfg:       cfg,
+		m:         m,
+		hash:      hashutil.NewUniversal(cfg.Seed, max(cfg.Sets, 1)),
+		sets:      make([][]*condEntry, max(cfg.Sets, 1)),
+		log:       NewMonitorLog(cfg.LogCapacity),
+		selector:  selector,
+		wake:      wake,
+		monitored: make(map[mem.Addr]int),
+		byAddr:    make(map[mem.Addr][]*condEntry),
+	}
+	m.OnAtomicApply(s.observe)
+	return s
+}
+
+// Log exposes the Monitor Log for the Command Processor to drain.
+func (s *SyncMon) Log() *MonitorLog { return s.log }
+
+// setIndex hashes (addr, want) per Section V.C: the word address is shifted
+// up and ORed with the waiting value, then universally hashed into a set.
+func (s *SyncMon) setIndex(addr mem.Addr, want int64) int {
+	key := uint64(addr>>3)<<8 | uint64(want)&0xff
+	return s.hash.Hash(key)
+}
+
+func (s *SyncMon) findEntry(addr mem.Addr, want int64, cmp gpu.Cmp) *condEntry {
+	for _, e := range s.sets[s.setIndex(addr, want)] {
+		if e.addr == addr && e.want == want && e.cmp == cmp {
+			return e
+		}
+	}
+	return nil
+}
+
+// Register records wg as waiting for mem[v.Addr] == want. Called at bank
+// service time of a failing waiting atomic (race-free) or of a wait
+// instruction's arm (with the window of vulnerability upstream).
+func (s *SyncMon) Register(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp, class OpClass) RegisterResult {
+	addr := v.Addr.WordAligned()
+	if s.cfg.Sets == 0 || s.cfg.WaitListSize == 0 {
+		return s.spill(wg, addr, want, cmp)
+	}
+	e := s.findEntry(addr, want, cmp)
+	if e == nil {
+		set := s.sets[s.setIndex(addr, want)]
+		if len(set) >= s.cfg.Ways {
+			return s.spill(wg, addr, want, cmp)
+		}
+		e = &condEntry{addr: addr, want: want, cmp: cmp}
+		s.sets[s.setIndex(addr, want)] = append(set, e)
+		s.byAddr[addr] = append(s.byAddr[addr], e)
+		s.conds++
+		s.monitored[addr]++
+		if s.monitored[addr] == 1 {
+			s.m.Mem().L2().Pin(addr)
+		}
+		s.noteHighWater()
+	}
+	if s.waiters >= s.cfg.WaitListSize {
+		if len(e.waiters) == 0 {
+			s.dropEntry(e)
+		}
+		return s.spill(wg, addr, want, cmp)
+	}
+	e.waiters = append(e.waiters, waiter{wg: wg, class: class})
+	s.waiters++
+	s.noteHighWater()
+	return Registered
+}
+
+func (s *SyncMon) spill(wg gpu.WGID, addr mem.Addr, want int64, cmp gpu.Cmp) RegisterResult {
+	if !s.log.Push(LogEntry{Addr: addr, Want: want, Cmp: cmp, WG: wg}) {
+		s.m.Count.LogRejects++
+		return Rejected
+	}
+	s.m.Count.LogSpills++
+	if s.log.MaxLen() > s.m.Count.MaxLogEntries {
+		s.m.Count.MaxLogEntries = s.log.MaxLen()
+	}
+	return Spilled
+}
+
+// Unregister removes wg's condition from the cache and tombstones any log
+// copies; used when a policy-side timeout ends the wait.
+func (s *SyncMon) Unregister(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp) {
+	addr := v.Addr.WordAligned()
+	if e := s.findEntry(addr, want, cmp); e != nil {
+		for i, wt := range e.waiters {
+			if wt.wg == wg {
+				e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+				s.waiters--
+				break
+			}
+		}
+		if len(e.waiters) == 0 {
+			s.dropEntry(e)
+		}
+	}
+	s.log.Remove(wg, addr, want)
+}
+
+// dropEntry frees a condition entry and unpins/unmonitors as needed.
+func (s *SyncMon) dropEntry(e *condEntry) {
+	set := s.sets[s.setIndex(e.addr, e.want)]
+	for i, x := range set {
+		if x == e {
+			s.sets[s.setIndex(e.addr, e.want)] = append(set[:i], set[i+1:]...)
+			break
+		}
+	}
+	idx := s.byAddr[e.addr]
+	for i, x := range idx {
+		if x == e {
+			s.byAddr[e.addr] = append(idx[:i], idx[i+1:]...)
+			break
+		}
+	}
+	if len(s.byAddr[e.addr]) == 0 {
+		delete(s.byAddr, e.addr)
+	}
+	s.conds--
+	s.monitored[e.addr]--
+	if s.monitored[e.addr] == 0 {
+		delete(s.monitored, e.addr)
+		s.m.Mem().L2().Unpin(e.addr)
+		s.selector.AddressUnmonitored(e.addr)
+	}
+}
+
+// observe is the machine's atomic-apply hook: the monitored-bit check at
+// the L2 bank.
+func (s *SyncMon) observe(by *gpu.WG, v gpu.Var, op gpu.AtomicOp, old, new int64) {
+	addr := v.Addr.WordAligned()
+	if s.monitored[addr] == 0 {
+		return
+	}
+	if s.cfg.Sporadic {
+		// Any access to a monitored address resumes every registered
+		// waiter, unchecked ("sporadic" notifications).
+		s.wakeAllOnAddr(addr)
+		return
+	}
+	if !op.IsWrite() {
+		// Only updates re-check conditions (Figure 12 step 3 passes the
+		// *updated* value). A condition that was already true at a waiting
+		// atomic's bank instant never registers, so no wake-up is lost by
+		// ignoring reads — but a resume-one policy's remaining waiters
+		// must wait for another matching update or their timeout, the
+		// paper's stated deficiency of MonNR-One at barriers.
+		return
+	}
+	s.selector.ObserveUpdate(addr, new)
+	var met []*condEntry
+	for _, e := range s.byAddr[addr] {
+		if len(e.waiters) > 0 && e.cmp.Test(new, e.want) {
+			met = append(met, e)
+		}
+	}
+	type wakeup struct {
+		wt   waiter
+		want int64
+	}
+	var wakeups []wakeup
+	for _, e := range met {
+		classes := make([]OpClass, len(e.waiters))
+		for i, wt := range e.waiters {
+			classes[i] = wt.class
+		}
+		n := s.selector.Select(addr, e.want, classes)
+		if n < 1 {
+			n = 1
+		}
+		if n > len(e.waiters) {
+			n = len(e.waiters)
+		}
+		for _, wt := range e.waiters[:n] {
+			wakeups = append(wakeups, wakeup{wt, e.want})
+		}
+		e.waiters = append([]waiter(nil), e.waiters[n:]...)
+		s.waiters -= n
+		if len(e.waiters) == 0 {
+			s.dropEntry(e)
+		}
+	}
+	for _, wu := range wakeups {
+		s.wake(wu.wt.wg, addr, wu.want, true)
+	}
+}
+
+// wakeAllOnAddr implements sporadic notification: every waiter on every
+// condition of addr resumes, unchecked.
+func (s *SyncMon) wakeAllOnAddr(addr mem.Addr) {
+	var resumed []waiter
+	var wants []int64
+	var emptied []*condEntry
+	for si := range s.sets {
+		for _, e := range s.sets[si] {
+			if e.addr != addr {
+				continue
+			}
+			for _, wt := range e.waiters {
+				resumed = append(resumed, wt)
+				wants = append(wants, e.want)
+			}
+			s.waiters -= len(e.waiters)
+			e.waiters = nil
+			emptied = append(emptied, e)
+		}
+	}
+	// Drop entries after the walk; dropEntry re-looks-up its set, so no
+	// stale slice headers are involved.
+	for _, e := range emptied {
+		s.dropEntry(e)
+	}
+	for i, wt := range resumed {
+		s.wake(wt.wg, addr, wants[i], false)
+	}
+}
+
+// Waiters reports the current waiting-WG list occupancy.
+func (s *SyncMon) Waiters() int { return s.waiters }
+
+// Conditions reports the current condition cache occupancy.
+func (s *SyncMon) Conditions() int { return s.conds }
+
+// MonitoredAddrs reports how many distinct addresses are monitored.
+func (s *SyncMon) MonitoredAddrs() int { return len(s.monitored) }
+
+func (s *SyncMon) noteHighWater() {
+	if s.conds > s.maxConds {
+		s.maxConds = s.conds
+	}
+	if s.waiters > s.maxWaiters {
+		s.maxWaiters = s.waiters
+	}
+	if len(s.monitored) > s.maxMonitored {
+		s.maxMonitored = len(s.monitored)
+	}
+	if s.maxConds > s.m.Count.MaxConditions {
+		s.m.Count.MaxConditions = s.maxConds
+	}
+	if s.maxWaiters > s.m.Count.MaxWaitingWGs {
+		s.m.Count.MaxWaitingWGs = s.maxWaiters
+	}
+	if s.maxMonitored > s.m.Count.MaxMonitoredVars {
+		s.m.Count.MaxMonitoredVars = s.maxMonitored
+	}
+}

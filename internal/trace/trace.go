@@ -1,0 +1,195 @@
+// Package trace records per-work-group execution timelines from a
+// simulation and renders them as the paper's Figure 6-style signatures:
+// for each WG, an annotated sequence of phases (running, busy-polling,
+// stalled, switching, switched out) with the synchronization events
+// (atomic attempts, monitor arming, resumes, timeouts) that separate them.
+//
+// Tracing is optional: a Machine runs untraced unless a Recorder is
+// attached, and recording costs one append per event.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"awgsim/internal/event"
+)
+
+// Kind classifies a timeline event.
+type Kind int
+
+const (
+	// Start: the WG was dispatched and began executing.
+	Start Kind = iota
+	// Attempt: a synchronization atomic was issued.
+	Attempt
+	// Arm: a wait instruction armed the monitor (MonR/MonRS only).
+	Arm
+	// StallBegin: the WG parked on its CU, releasing issue slots.
+	StallBegin
+	// SwitchOut: the WG began a context save.
+	SwitchOut
+	// SwitchIn: the WG became resident again.
+	SwitchIn
+	// Resume: a monitor/CP notification woke the WG.
+	Resume
+	// TimeoutFire: the policy's fallback timeout ended a wait.
+	TimeoutFire
+	// Acquired: the wait episode completed successfully.
+	Acquired
+	// Finish: the WG completed.
+	Finish
+)
+
+var kindNames = map[Kind]string{
+	Start:       "start",
+	Attempt:     "atomic",
+	Arm:         "arm",
+	StallBegin:  "stall",
+	SwitchOut:   "ctx-out",
+	SwitchIn:    "ctx-in",
+	Resume:      "resume",
+	TimeoutFire: "timeout",
+	Acquired:    "acquired",
+	Finish:      "finish",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "?"
+}
+
+// glyphs renders each kind as a single timeline character.
+var glyphs = map[Kind]byte{
+	Start:       '[',
+	Attempt:     'a',
+	Arm:         'm',
+	StallBegin:  '_',
+	SwitchOut:   '<',
+	SwitchIn:    '>',
+	Resume:      '!',
+	TimeoutFire: 'T',
+	Acquired:    '+',
+	Finish:      ']',
+}
+
+// Event is one recorded timeline entry.
+type Event struct {
+	At   event.Cycle
+	WG   int
+	Kind Kind
+}
+
+// Recorder collects events. The zero value is ready to use.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// NewRecorder builds a recorder keeping at most limit events (0 =
+// unlimited).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Record appends an event; silently drops once the limit is reached.
+func (r *Recorder) Record(at event.Cycle, wg int, kind Kind) {
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{At: at, WG: wg, Kind: kind})
+}
+
+// Len reports recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the recorded events in time order.
+func (r *Recorder) Events() []Event {
+	out := append([]Event(nil), r.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// CountByKind tallies events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range r.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Timeline renders the recorded events as one fixed-width lane per WG
+// (Figure 6 style): time flows left to right across `width` columns, with
+// each event drawn at its proportional position; later events in a column
+// overwrite earlier ones.
+//
+//	[ start   a atomic   m arm   _ stall   < ctx-out   > ctx-in
+//	! resume  T timeout  + acquired  ] finish
+func (r *Recorder) Timeline(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	evs := r.Events()
+	if len(evs) == 0 {
+		return "(no events)\n"
+	}
+	start, end := evs[0].At, evs[0].At
+	wgs := map[int]bool{}
+	for _, e := range evs {
+		if e.At < start {
+			start = e.At
+		}
+		if e.At > end {
+			end = e.At
+		}
+		wgs[e.WG] = true
+	}
+	span := end - start
+	if span == 0 {
+		span = 1
+	}
+	ids := make([]int, 0, len(wgs))
+	for id := range wgs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	lanes := make(map[int][]byte, len(ids))
+	for _, id := range ids {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		lanes[id] = lane
+	}
+	for _, e := range evs {
+		col := int(uint64(e.At-start) * uint64(width-1) / uint64(span))
+		lanes[e.WG][col] = glyphs[e.Kind]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d..%d, one lane per WG (%s)\n", start, end, legend())
+	for _, id := range ids {
+		fmt.Fprintf(&b, "WG%-3d %s\n", id, lanes[id])
+	}
+	return b.String()
+}
+
+func legend() string {
+	order := []Kind{Start, Attempt, Arm, StallBegin, SwitchOut, SwitchIn, Resume, TimeoutFire, Acquired, Finish}
+	parts := make([]string, len(order))
+	for i, k := range order {
+		parts[i] = fmt.Sprintf("%c=%s", glyphs[k], k)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Signature summarizes the recording as the per-policy counts Figure 6's
+// timeline annotations correspond to.
+func (r *Recorder) Signature() string {
+	c := r.CountByKind()
+	return fmt.Sprintf("atomics=%d arms=%d stalls=%d switches=%d resumes=%d timeouts=%d",
+		c[Attempt], c[Arm], c[StallBegin], c[SwitchOut], c[Resume], c[TimeoutFire])
+}

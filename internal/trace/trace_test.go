@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderOrdersEvents(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(50, 1, Attempt)
+	r.Record(10, 0, Start)
+	r.Record(30, 1, Start)
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order: %+v", evs)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 10; i++ {
+		r.Record(0, 0, Attempt)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("limit ignored: %d events", r.Len())
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(0, 0, Attempt)
+	r.Record(1, 0, Attempt)
+	r.Record(2, 0, Resume)
+	c := r.CountByKind()
+	if c[Attempt] != 2 || c[Resume] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(0, 0, Start)
+	r.Record(500, 0, Attempt)
+	r.Record(1000, 0, Finish)
+	r.Record(0, 3, Start)
+	r.Record(1000, 3, Finish)
+	out := r.Timeline(40)
+	if !strings.Contains(out, "WG0") || !strings.Contains(out, "WG3") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 lanes
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	lane0 := lines[1]
+	if !strings.Contains(lane0, "[") || !strings.HasSuffix(lane0, "]") {
+		t.Fatalf("lane missing start/finish glyphs: %q", lane0)
+	}
+	if !strings.Contains(lane0, "a") {
+		t.Fatalf("lane missing attempt glyph: %q", lane0)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	r := NewRecorder(0)
+	if got := r.Timeline(40); !strings.Contains(got, "no events") {
+		t.Fatalf("empty timeline rendered %q", got)
+	}
+}
+
+func TestTimelineSingleInstant(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(7, 0, Start)
+	out := r.Timeline(10)
+	if !strings.Contains(out, "[") {
+		t.Fatalf("glyph missing: %q", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Start: "start", Resume: "resume", TimeoutFire: "timeout"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() != "?" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(0, 0, Attempt)
+	r.Record(1, 0, StallBegin)
+	r.Record(2, 0, Resume)
+	s := r.Signature()
+	for _, want := range []string{"atomics=1", "stalls=1", "resumes=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("signature %q missing %q", s, want)
+		}
+	}
+}
