@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci bench exp quick
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting (CI mode); run `gofmt -w .` to fix.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci is the full gate: formatting, static checks, and the race-instrumented
+# test suite (which exercises the parallel experiment pool).
+ci: fmt vet race
+
+# bench regenerates the perf baseline the repository tracks.
+bench:
+	$(GO) run ./cmd/awgexp -quick -json BENCH_results.json > /dev/null
+
+# exp/quick print the full and reduced-scale experiment suites.
+exp:
+	$(GO) run ./cmd/awgexp
+
+quick:
+	$(GO) run ./cmd/awgexp -quick

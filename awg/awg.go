@@ -1,9 +1,10 @@
 // Package awg is the public API of the AWG simulator, a reproduction of
 // "Independent Forward Progress of Work-groups" (Duțu et al., ISCA 2020).
 //
-// It composes the internal substrates — discrete-event engine, memory
-// hierarchy, GPU execution model, SyncMon, Command Processor — into single
-// simulation runs:
+// It is a thin facade over the internal/sim session layer, which composes
+// the internal substrates — discrete-event engine, memory hierarchy, GPU
+// execution model, SyncMon, Command Processor — into single simulation
+// runs:
 //
 //	res, err := awg.Run(awg.Config{Benchmark: "SPM_G", Policy: "AWG"})
 //
@@ -15,16 +16,12 @@
 package awg
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
-
 	"awgsim/internal/event"
 	"awgsim/internal/gpu"
 	"awgsim/internal/kernels"
 	"awgsim/internal/mem"
 	"awgsim/internal/metrics"
-	"awgsim/internal/policy"
+	"awgsim/internal/sim"
 )
 
 // Result re-exports the run result type.
@@ -57,6 +54,26 @@ type Config struct {
 	// SkipVerify disables the post-run functional validation (used only by
 	// experiments that expect a deadlock).
 	SkipVerify bool
+
+	// Seed perturbs the machine's deterministic jitter stream. Runs with
+	// equal seeds are bit-identical; the default 0 reproduces the
+	// historical stream.
+	Seed uint64
+}
+
+// session translates the public config into the session layer's form.
+func (c Config) session() sim.Config {
+	return sim.Config{
+		Benchmark:     c.Benchmark,
+		Policy:        c.Policy,
+		GPU:           c.GPU,
+		Mem:           c.Mem,
+		Params:        c.Params,
+		Oversubscribe: c.Oversubscribe,
+		PreemptAt:     c.PreemptAt,
+		SkipVerify:    c.SkipVerify,
+		Seed:          c.Seed,
+	}
 }
 
 // Benchmarks lists the twelve paper benchmarks in figure order.
@@ -71,141 +88,36 @@ func ExtensionBenchmarks() []string { return kernels.Extensions() }
 
 // Policies lists the canonical policy names in the paper's design-space
 // order.
-func Policies() []string {
-	return []string{
-		"Baseline", "Sleep", "Timeout",
-		"MonRS-All", "MonR-All", "MonNR-All", "MonNR-One",
-		"AWG", "MinResume",
-	}
-}
+func Policies() []string { return sim.Policies() }
 
 // NewPolicy builds a scheduling policy from its name. Sleep and Timeout
 // accept an interval suffix in thousands of cycles: "Sleep-16k",
 // "Timeout-50k". Bare "Sleep" and "Timeout" use 16k and 20k respectively.
-func NewPolicy(name string) (gpu.Policy, error) {
-	switch name {
-	case "Baseline":
-		return policy.NewBaseline(), nil
-	case "Sleep":
-		return policy.NewSleep(name, 16_000), nil
-	case "Timeout":
-		return policy.NewTimeout(name, 20_000), nil
-	case "MonRS-All":
-		return policy.NewMonRSAll(), nil
-	case "MonR-All":
-		return policy.NewMonRAll(), nil
-	case "MonNR-All":
-		return policy.NewMonNRAll(), nil
-	case "MonNR-One":
-		return policy.NewMonNROne(), nil
-	case "AWG":
-		return policy.NewAWG(), nil
-	case "MinResume":
-		return policy.NewMinResume(), nil
-	case "AWG-nostall":
-		return policy.NewAWGNoStallPredict(), nil
-	case "AWG-nopredict":
-		return policy.NewAWGNoResumePredict(), nil
-	case "AWG-nocache":
-		// AWG with the SyncMon condition cache disabled: every waiting
-		// condition virtualizes through the Monitor Log and the CP — the
-		// configuration Figure 13 sizes the CP structures under.
-		return policy.NewAWGNoCache(), nil
-	}
-	if k, ok := strings.CutPrefix(name, "Sleep-"); ok {
-		iv, err := parseK(k)
-		if err != nil {
-			return nil, fmt.Errorf("awg: bad sleep interval %q: %w", name, err)
-		}
-		return policy.NewSleep(name, iv), nil
-	}
-	if k, ok := strings.CutPrefix(name, "Timeout-"); ok {
-		iv, err := parseK(k)
-		if err != nil {
-			return nil, fmt.Errorf("awg: bad timeout interval %q: %w", name, err)
-		}
-		return policy.NewTimeout(name, iv), nil
-	}
-	return nil, fmt.Errorf("awg: unknown policy %q", name)
-}
-
-// parseK parses "16k" or "500" into cycles.
-func parseK(s string) (event.Cycle, error) {
-	mult := event.Cycle(1)
-	if k, ok := strings.CutSuffix(s, "k"); ok {
-		mult = 1000
-		s = k
-	}
-	n, err := strconv.ParseUint(s, 10, 32)
-	if err != nil {
-		return 0, err
-	}
-	if n == 0 {
-		return 0, fmt.Errorf("zero interval")
-	}
-	return event.Cycle(n) * mult, nil
-}
-
-// fill derives defaults.
-func (c *Config) fill() error {
-	if c.Benchmark == "" {
-		return fmt.Errorf("awg: no benchmark named")
-	}
-	if c.Policy == "" {
-		return fmt.Errorf("awg: no policy named")
-	}
-	if c.GPU.NumCUs == 0 {
-		c.GPU = gpu.DefaultConfig()
-	}
-	if c.Mem.LineSize == 0 {
-		c.Mem = mem.DefaultConfig()
-	}
-	if c.Params.NumWGs == 0 {
-		c.Params = kernels.DefaultParams()
-		c.Params.Groups = c.GPU.NumCUs
-		c.Params.NumWGs = c.GPU.NumCUs * c.GPU.MaxWGsPerCU
-	}
-	if c.PreemptAt == 0 {
-		c.PreemptAt = 100_000 // 50 µs at 2 GHz
-	}
-	return nil
-}
+func NewPolicy(name string) (gpu.Policy, error) { return sim.NewPolicy(name) }
 
 // Run executes one simulation and returns its result. Unless SkipVerify is
 // set, a completed run is functionally validated (lock counts, conserved
 // balances, barrier epochs); a validation failure is returned as an error.
 // A deadlocked run is not an error — Result.Deadlocked reports it.
 func Run(cfg Config) (Result, error) {
-	if err := cfg.fill(); err != nil {
-		return Result{}, err
+	return sim.Run(cfg.session())
+}
+
+// RunAll executes many independent simulations in parallel, one worker per
+// core, preserving input order. Per-run results are bit-identical to Run;
+// see internal/sim for the pooled session layer this wraps.
+func RunAll(cfgs []Config) ([]Result, []error) {
+	jobs := make([]sim.Job, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = sim.Job{Config: c.session()}
 	}
-	bench, err := kernels.Build(cfg.Benchmark, cfg.Params)
-	if err != nil {
-		return Result{}, err
+	outs := sim.RunAll(jobs)
+	results := make([]Result, len(outs))
+	errs := make([]error, len(outs))
+	for i, o := range outs {
+		results[i], errs[i] = o.Result, o.Err
 	}
-	pol, err := NewPolicy(cfg.Policy)
-	if err != nil {
-		return Result{}, err
-	}
-	m, err := gpu.NewMachine(cfg.GPU, cfg.Mem, &bench.Spec, pol)
-	if err != nil {
-		return Result{}, err
-	}
-	if bench.Init != nil {
-		bench.Init(m.Mem().Write)
-	}
-	if cfg.Oversubscribe {
-		last := gpu.CUID(cfg.GPU.NumCUs - 1)
-		m.Engine().At(cfg.PreemptAt, func() { m.PreemptCU(last) })
-	}
-	res := m.Run()
-	if !res.Deadlocked && !cfg.SkipVerify && bench.Verify != nil {
-		if verr := bench.Verify(m.Mem().Read); verr != nil {
-			return res, fmt.Errorf("awg: %s under %s completed but failed validation: %w",
-				cfg.Benchmark, cfg.Policy, verr)
-		}
-	}
-	return res, nil
+	return results, errs
 }
 
 // MustRun is Run, panicking on configuration or validation errors; it keeps

@@ -6,23 +6,56 @@
 //	awgexp                # everything, full scale (minutes)
 //	awgexp -quick         # everything, reduced scale (seconds)
 //	awgexp -exp fig14     # one experiment
+//	awgexp -json out.json # also write a bench trajectory (wall time, cycles)
+//	awgexp -workers 4     # cap the simulation worker pool
 //	awgexp -list
+//
+// A failing experiment no longer aborts the suite: its error is reported,
+// the remaining experiments still run, and awgexp exits non-zero at the
+// end if anything failed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"awgsim/internal/experiments"
+	"awgsim/internal/sim"
 )
+
+// benchEntry is one experiment's row in the -json trajectory.
+type benchEntry struct {
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	WallSecs  float64 `json:"wall_secs"`
+	SimCycles uint64  `json:"sim_cycles"` // simulated cycles across the experiment's runs
+	SimRuns   uint64  `json:"sim_runs"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// benchReport is the -json file: a perf baseline of the experiment suite,
+// comparable across commits when quick/workers match.
+type benchReport struct {
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Workers     int          `json:"workers"` // 0 = GOMAXPROCS
+	Quick       bool         `json:"quick"`
+	Experiments []benchEntry `json:"experiments"`
+	TotalSecs   float64      `json:"total_secs"`
+	TotalCycles uint64       `json:"total_cycles"`
+	TotalRuns   uint64       `json:"total_runs"`
+}
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "single experiment id (table1, table2, fig5..fig15); empty = all")
-		quick = flag.Bool("quick", false, "reduced launches: shapes only, runs in seconds")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "single experiment id (table1, table2, fig5..fig15); empty = all")
+		quick    = flag.Bool("quick", false, "reduced launches: shapes only, runs in seconds")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath = flag.String("json", "", "write a bench-trajectory JSON (per-experiment wall time and simulated cycles) to this file")
+		workers  = flag.Int("workers", 0, "simulation worker pool size; 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -31,6 +64,11 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+	if *workers > 0 {
+		// The pool sizes itself from GOMAXPROCS; narrowing it also keeps
+		// the engine goroutines' scheduling pressure down.
+		runtime.GOMAXPROCS(*workers)
 	}
 
 	opts := experiments.Options{Quick: *quick}
@@ -44,22 +82,66 @@ func main() {
 		run = []experiments.Experiment{e}
 	}
 
+	report := benchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		Quick:      *quick,
+	}
+	var failures []string
+	suiteStart := time.Now()
 	for _, e := range run {
 		start := time.Now()
+		cyc0, runs0 := sim.Totals()
 		tab, err := e.Run(opts)
+		cyc1, runs1 := sim.Totals()
+		entry := benchEntry{
+			ID:        e.ID,
+			Title:     e.Title,
+			WallSecs:  time.Since(start).Seconds(),
+			SimCycles: cyc1 - cyc0,
+			SimRuns:   runs1 - runs0,
+		}
 		if err != nil {
+			entry.Error = err.Error()
+			failures = append(failures, fmt.Sprintf("%s: %v", e.ID, err))
 			fmt.Fprintf(os.Stderr, "awgexp: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Println(tab.String())
-		if e.ID == "fig6" {
-			if tl, err := experiments.Fig6Timelines(opts); err == nil {
-				fmt.Println(tl)
+		} else {
+			fmt.Println(tab.String())
+			if e.ID == "fig6" {
+				if tl, tlErr := experiments.Fig6Timelines(opts); tlErr == nil {
+					fmt.Println(tl)
+				}
 			}
+			fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, entry.WallSecs)
 		}
-		fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		report.Experiments = append(report.Experiments, entry)
 	}
-	if *exp == "" {
+	if *exp == "" && len(failures) == 0 {
 		fmt.Println(experiments.HardwareOverhead().String())
 	}
+	report.TotalSecs = time.Since(suiteStart).Seconds()
+	report.TotalCycles, report.TotalRuns = sim.Totals()
+
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, "awgexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "awgexp: bench trajectory written to %s\n", *jsonPath)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "awgexp: %d experiment(s) failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+}
+
+func writeReport(path string, r benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -26,6 +26,7 @@ func main() {
 		oversub = flag.Bool("oversubscribe", false, "preempt one CU 50us into the kernel (the paper's dynamic resource-loss experiment)")
 		iters   = flag.Int("iters", 0, "synchronization rounds per WG (0 = default)")
 		wgs     = flag.Int("wgs", 0, "work-groups to launch (0 = exactly fill the GPU)")
+		seed    = flag.Uint64("seed", 0, "jitter-stream seed; equal seeds replay bit-identically (0 = historical stream)")
 		list    = flag.Bool("list", false, "list benchmarks and policies, then exit")
 		asJSON  = flag.Bool("json", false, "emit the full result as JSON")
 	)
@@ -39,7 +40,7 @@ func main() {
 		return
 	}
 
-	cfg := awg.Config{Benchmark: *bench, Policy: *policy, Oversubscribe: *oversub}
+	cfg := awg.Config{Benchmark: *bench, Policy: *policy, Oversubscribe: *oversub, Seed: *seed}
 	if *iters > 0 || *wgs > 0 {
 		p := kernels.DefaultParams()
 		if *iters > 0 {

@@ -21,25 +21,27 @@ func AblationBenchmarks() []string {
 // scenario where the mechanisms interact. Values are speedups over the
 // Timeout policy, like Figure 15.
 func Ablation(o Options) (*metrics.Table, error) {
-	iters := Fig15Iters
-	if o.Quick {
-		iters = 0
-	}
+	iters := fig15Iters(o)
 	variants := []string{"AWG", "AWG-nostall", "AWG-nopredict", "AWG-nocache"}
+	var cells []cell
+	for _, b := range AblationBenchmarks() {
+		cells = append(cells, cell{bench: b, policy: "Timeout", oversub: true, iters: iters})
+		for _, v := range variants {
+			cells = append(cells, cell{bench: b, policy: v, oversub: true, iters: iters})
+		}
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("ablation %w", err)
+	}
 	t := metrics.NewTable("Ablation: AWG variants, oversubscribed, speedup vs Timeout",
 		append([]string{"Benchmark"}, variants...)...)
 	geo := make(map[string][]float64)
 	for _, b := range AblationBenchmarks() {
-		base, err := o.run(b, "Timeout", true, iters)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s/Timeout: %w", b, err)
-		}
+		base := grid[cell{bench: b, policy: "Timeout", oversub: true, iters: iters}]
 		row := []any{b}
 		for _, v := range variants {
-			res, err := o.run(b, v, true, iters)
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s/%s: %w", b, v, err)
-			}
+			res := grid[cell{bench: b, policy: v, oversub: true, iters: iters}]
 			if res.Deadlocked {
 				row = append(row, deadlockMark)
 				continue

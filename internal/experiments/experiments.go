@@ -4,6 +4,13 @@
 // match what the paper reports. The awgexp command prints them; the
 // repository's bench harness wraps each in a testing.B benchmark.
 //
+// Every experiment enumerates its (benchmark × policy × scenario) grid up
+// front and hands the whole batch to the sim package's worker pool, so a
+// figure's cells simulate in parallel on a multi-core host. Per-cell
+// results are bit-identical to serial execution — each simulation keeps its
+// own single-goroutine event engine — so the tables are reproducible
+// regardless of core count.
+//
 // Absolute magnitudes differ from the paper (our substrate is a
 // from-scratch timing model, not the authors' gem5 configuration); the
 // shapes — who wins, roughly by how much, where the crossovers fall — are
@@ -14,10 +21,10 @@ package experiments
 import (
 	"fmt"
 
-	"awgsim/awg"
 	"awgsim/internal/gpu"
 	"awgsim/internal/kernels"
 	"awgsim/internal/metrics"
+	"awgsim/internal/sim"
 )
 
 // Options scales the experiments.
@@ -49,30 +56,71 @@ func (o Options) gpuConfig() gpu.Config {
 	return cfg
 }
 
-// run executes one simulation with the experiment scale applied.
-func (o Options) run(benchmark, policy string, oversubscribe bool, iters int) (metrics.Result, error) {
-	p := o.params()
-	if iters > 0 {
-		p.Iters = iters
-	}
-	return o.runWith(benchmark, policy, p, oversubscribe)
+// cell identifies one simulation in an experiment's grid. Zero iters and
+// numWGs take the scale's defaults.
+type cell struct {
+	bench, policy string
+	oversub       bool
+	iters         int
+	numWGs        int
 }
 
-// runWith executes one simulation with explicit launch parameters.
-func (o Options) runWith(benchmark, policy string, p kernels.Params, oversubscribe bool) (metrics.Result, error) {
-	cfg := awg.Config{
-		Benchmark:     benchmark,
-		Policy:        policy,
+// simConfig translates a grid cell into a session config at the experiment
+// scale.
+func (o Options) simConfig(c cell) sim.Config {
+	p := o.params()
+	if c.iters > 0 {
+		p.Iters = c.iters
+	}
+	if c.numWGs > 0 {
+		p.NumWGs = c.numWGs
+	}
+	cfg := sim.Config{
+		Benchmark:     c.bench,
+		Policy:        c.policy,
 		GPU:           o.gpuConfig(),
 		Params:        p,
-		Oversubscribe: oversubscribe,
+		Oversubscribe: c.oversub,
 	}
 	if o.Quick {
 		// Scale the preemption instant with the shrunken runs so every
 		// policy is still mid-kernel when the CU disappears.
 		cfg.PreemptAt = 10_000
 	}
-	return awg.Run(cfg)
+	return cfg
+}
+
+// batch simulates every distinct cell through the sim worker pool and
+// returns the results keyed by cell. Duplicate cells (a base run shared by
+// several rows) simulate once. Any cell's error fails the whole batch,
+// labeled with the cell that produced it.
+func (o Options) batch(cells []cell) (map[cell]metrics.Result, error) {
+	seen := make(map[cell]bool, len(cells))
+	uniq := make([]cell, 0, len(cells))
+	for _, c := range cells {
+		if !seen[c] {
+			seen[c] = true
+			uniq = append(uniq, c)
+		}
+	}
+	jobs := make([]sim.Job, len(uniq))
+	for i, c := range uniq {
+		jobs[i] = sim.Job{Config: o.simConfig(c)}
+	}
+	results := make(map[cell]metrics.Result, len(uniq))
+	for i, out := range sim.RunAll(jobs) {
+		if out.Err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", uniq[i].bench, uniq[i].policy, out.Err)
+		}
+		results[uniq[i]] = out.Result
+	}
+	return results, nil
+}
+
+// run executes one simulation with the experiment scale applied; the grid
+// experiments use batch instead, this serves one-off probes.
+func (o Options) run(benchmark, policy string, oversubscribe bool, iters int) (metrics.Result, error) {
+	return sim.Run(o.simConfig(cell{bench: benchmark, policy: policy, oversub: oversubscribe, iters: iters}))
 }
 
 // Experiment identifies one regenerable artifact.

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"awgsim/awg"
 	"awgsim/internal/gpu"
 	"awgsim/internal/mem"
 	"awgsim/internal/metrics"
+	"awgsim/internal/sim"
 	"awgsim/internal/trace"
 )
 
@@ -19,14 +19,22 @@ import (
 // (poll-retry / timer / sporadic notification / checked notification), and
 // what that cost in atomics and wasted resumes.
 func Fig6(o Options) (*metrics.Table, error) {
+	pols := []string{"Baseline", "Sleep", "Timeout", "MonRS-All", "MonR-All", "MonNR-All", "MonNR-One", "AWG"}
+	jobs := make([]sim.Job, len(pols))
+	for i, p := range pols {
+		jobs[i] = sim.Job{Key: p, Config: producerConsumerConfig(p, nil)}
+	}
 	t := metrics.NewTable("Figure 6: policy timeline signatures (producer/consumer episode)",
 		"Policy", "Waits", "Atomics", "Resumes", "WastedResumes", "Timeouts", "Stalls", "CtxSwitches", "Cycles")
-	for _, p := range []string{"Baseline", "Sleep", "Timeout", "MonRS-All", "MonR-All", "MonNR-All", "MonNR-One", "AWG"} {
-		res, err := runProducerConsumer(p)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 %s: %w", p, err)
+	for _, out := range sim.RunAll(jobs) {
+		if out.Err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", out.Key, out.Err)
 		}
-		t.AddRow(p, res.Stalls+res.Resumes, res.Atomics, res.Resumes,
+		res := out.Result
+		if res.Deadlocked {
+			return nil, fmt.Errorf("fig6: producer/consumer deadlocked under %s", out.Key)
+		}
+		t.AddRow(out.Key, res.Stalls+res.Resumes, res.Atomics, res.Resumes,
 			res.WastedResumes, res.Timeouts, res.Stalls,
 			res.SwitchesOut+res.SwitchesIn, res.Cycles)
 	}
@@ -42,25 +50,25 @@ func Fig6Timelines(o Options) (string, error) {
 	var b strings.Builder
 	for _, p := range []string{"Baseline", "MonNR-All", "AWG"} {
 		rec := trace.NewRecorder(100_000)
-		if _, err := runProducerConsumerTraced(p, rec); err != nil {
+		res, err := sim.Run(producerConsumerConfig(p, rec))
+		if err != nil {
 			return "", fmt.Errorf("fig6 timeline %s: %w", p, err)
+		}
+		if res.Deadlocked {
+			return "", fmt.Errorf("fig6 timeline: producer/consumer deadlocked under %s", p)
 		}
 		fmt.Fprintf(&b, "--- %s ---\n%s\n", p, rec.Timeline(96))
 	}
 	return b.String(), nil
 }
 
-// runProducerConsumer launches one producer WG and a CU's worth of
-// consumers waiting on a flag the producer sets after a delay.
-func runProducerConsumer(policy string) (metrics.Result, error) {
-	return runProducerConsumerTraced(policy, nil)
-}
-
-func runProducerConsumerTraced(policy string, rec *trace.Recorder) (metrics.Result, error) {
+// producerConsumerConfig builds the episode: one producer WG and a CU's
+// worth of consumers waiting on a flag the producer sets after a delay.
+func producerConsumerConfig(policy string, rec *trace.Recorder) sim.Config {
 	const flag = mem.Addr(0x8000)
 	cfg := gpu.DefaultConfig()
 	numWGs := cfg.MaxWGsPerCU // one CU's worth: producer + consumers
-	spec := gpu.KernelSpec{
+	spec := &gpu.KernelSpec{
 		Name:       "ProducerConsumer",
 		NumWGs:     numWGs,
 		WIsPerWG:   64,
@@ -76,23 +84,16 @@ func runProducerConsumerTraced(policy string, rec *trace.Recorder) (metrics.Resu
 			d.AwaitEq(v, 1)
 		},
 	}
-	pol, err := awg.NewPolicy(policy)
-	if err != nil {
-		return metrics.Result{}, err
+	return sim.Config{
+		Policy: policy,
+		Kernel: spec,
+		Verify: func(read func(mem.Addr) int64) error {
+			if got := read(flag); got != 1 {
+				return fmt.Errorf("flag = %d after run", got)
+			}
+			return nil
+		},
+		GPU:    cfg,
+		Tracer: rec,
 	}
-	m, err := gpu.NewMachine(cfg, mem.DefaultConfig(), &spec, pol)
-	if err != nil {
-		return metrics.Result{}, err
-	}
-	if rec != nil {
-		m.SetTracer(rec)
-	}
-	res := m.Run()
-	if res.Deadlocked {
-		return res, fmt.Errorf("producer/consumer deadlocked under %s", policy)
-	}
-	if got := m.Mem().Read(flag); got != 1 {
-		return res, fmt.Errorf("flag = %d after run", got)
-	}
-	return res, nil
 }

@@ -22,14 +22,25 @@ const deadlockMark = "DEADLOCK"
 // factors on the centralized global-scope mutexes, MonNR-All weak under
 // acquire contention, MonNR-One weak on centralized tree barriers.
 func Fig14(o Options) (*metrics.Table, error) {
+	var cells []cell
+	for _, b := range kernels.All() {
+		cells = append(cells, cell{bench: b, policy: "Baseline"})
+		for _, p := range Fig14Policies() {
+			if p == "Sleep" && !isBackoffBench(b) {
+				continue
+			}
+			cells = append(cells, cell{bench: b, policy: p})
+		}
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 %w", err)
+	}
 	t := metrics.NewTable("Figure 14: speedup vs Baseline (non-oversubscribed)",
 		append([]string{"Benchmark", "Baseline"}, Fig14Policies()...)...)
 	geo := make(map[string][]float64)
 	for _, b := range kernels.All() {
-		base, err := o.run(b, "Baseline", false, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig14 %s/Baseline: %w", b, err)
-		}
+		base := grid[cell{bench: b, policy: "Baseline"}]
 		row := []any{b, 1.0}
 		for _, p := range Fig14Policies() {
 			if p == "Sleep" && !isBackoffBench(b) {
@@ -38,11 +49,7 @@ func Fig14(o Options) (*metrics.Table, error) {
 				row = append(row, "-")
 				continue
 			}
-			res, err := o.run(b, p, false, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig14 %s/%s: %w", b, p, err)
-			}
-			s := res.Speedup(base)
+			s := grid[cell{bench: b, policy: p}].Speedup(base)
 			geo[p] = append(geo[p], s)
 			row = append(row, s)
 		}
@@ -60,6 +67,15 @@ func Fig14(o Options) (*metrics.Table, error) {
 // still mid-kernel when the CU is preempted at 50 µs.
 const Fig15Iters = 40
 
+// fig15Iters returns the iteration override for the oversubscribed
+// experiments at the configured scale.
+func fig15Iters(o Options) int {
+	if o.Quick {
+		return 0 // keep the quick default
+	}
+	return Fig15Iters
+}
+
 // Fig15 reproduces the oversubscribed comparison: one CU is preempted 50 µs
 // into the kernel, and speedups are normalized to the Timeout policy
 // (Baseline and Sleep hold their resources and deadlock — the figure's
@@ -67,48 +83,42 @@ const Fig15Iters = 40
 // MonNR strategies on average; prediction helps centralized primitives;
 // stall-time misprediction can cost AWG on latency-sensitive barriers.
 func Fig15(o Options) (*metrics.Table, error) {
-	iters := Fig15Iters
-	if o.Quick {
-		iters = 0 // keep the quick default
+	iters := fig15Iters(o)
+	pols := []string{"Baseline", "Sleep", "MonNR-All", "MonNR-One", "AWG"}
+	var cells []cell
+	for _, b := range kernels.All() {
+		cells = append(cells, cell{bench: b, policy: "Timeout", oversub: true, iters: iters})
+		for _, p := range pols {
+			if p == "Sleep" && !isBackoffBench(b) {
+				continue
+			}
+			cells = append(cells, cell{bench: b, policy: p, oversub: true, iters: iters})
+		}
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig15 %w", err)
 	}
 	t := metrics.NewTable("Figure 15: speedup vs Timeout (oversubscribed, 1 CU preempted at 50us)",
 		"Benchmark", "Baseline", "Sleep", "Timeout", "MonNR-All", "MonNR-One", "AWG")
 	geo := make(map[string][]float64)
-	cell := func(b, p string, base metrics.Result) (any, error) {
+	mark := func(b, p string, base metrics.Result) any {
 		if p == "Sleep" && !isBackoffBench(b) {
-			return "-", nil
+			return "-"
 		}
-		res, err := o.run(b, p, true, iters)
-		if err != nil {
-			return nil, fmt.Errorf("fig15 %s/%s: %w", b, p, err)
-		}
+		res := grid[cell{bench: b, policy: p, oversub: true, iters: iters}]
 		if res.Deadlocked {
-			return deadlockMark, nil
+			return deadlockMark
 		}
 		s := res.Speedup(base)
 		geo[p] = append(geo[p], s)
-		return s, nil
+		return s
 	}
 	for _, b := range kernels.All() {
-		base, err := o.run(b, "Timeout", true, iters)
-		if err != nil {
-			return nil, fmt.Errorf("fig15 %s/Timeout: %w", b, err)
-		}
-		row := []any{b}
-		for _, p := range []string{"Baseline", "Sleep"} {
-			c, err := cell(b, p, base)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, c)
-		}
-		row = append(row, 1.0) // the Timeout normalization bar
+		base := grid[cell{bench: b, policy: "Timeout", oversub: true, iters: iters}]
+		row := []any{b, mark(b, "Baseline", base), mark(b, "Sleep", base), 1.0}
 		for _, p := range []string{"MonNR-All", "MonNR-One", "AWG"} {
-			c, err := cell(b, p, base)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, c)
+			row = append(row, mark(b, p, base))
 		}
 		t.AddRow(row...)
 	}

@@ -15,17 +15,29 @@ import (
 // IFP-providing policies complete at every size, with runtime scaling
 // roughly linearly in the WG count.
 func Oversweep(o Options) (*metrics.Table, error) {
+	benches := []string{"SPM_G", "TB_LG"}
+	pols := []string{"Baseline", "Timeout", "MonNR-All", "AWG"}
+	mults := []int{1, 2, 4}
+	cap1 := o.gpuConfig().NumCUs * o.gpuConfig().MaxWGsPerCU
+	var cells []cell
+	for _, b := range benches {
+		for _, p := range pols {
+			for _, m := range mults {
+				cells = append(cells, cell{bench: b, policy: p, numWGs: cap1 * m})
+			}
+		}
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("oversweep %w", err)
+	}
 	t := metrics.NewTable("Launch oversubscription sweep: runtime (cycles) by G/capacity",
 		"Benchmark", "Policy", "1x", "2x", "4x")
-	cap1 := o.gpuConfig().NumCUs * o.gpuConfig().MaxWGsPerCU
-	for _, bench := range []string{"SPM_G", "TB_LG"} {
-		for _, pol := range []string{"Baseline", "Timeout", "MonNR-All", "AWG"} {
-			row := []any{bench, pol}
-			for _, mult := range []int{1, 2, 4} {
-				res, err := o.runScaled(bench, pol, cap1*mult)
-				if err != nil {
-					return nil, fmt.Errorf("oversweep %s/%s %dx: %w", bench, pol, mult, err)
-				}
+	for _, b := range benches {
+		for _, p := range pols {
+			row := []any{b, p}
+			for _, m := range mults {
+				res := grid[cell{bench: b, policy: p, numWGs: cap1 * m}]
 				if res.Deadlocked {
 					row = append(row, deadlockMark)
 				} else {
@@ -36,12 +48,4 @@ func Oversweep(o Options) (*metrics.Table, error) {
 		}
 	}
 	return t, nil
-}
-
-// runScaled runs a benchmark with an explicit WG count (which may exceed
-// the machine's resident capacity).
-func (o Options) runScaled(bench, pol string, numWGs int) (metrics.Result, error) {
-	p := o.params()
-	p.NumWGs = numWGs
-	return o.runWith(bench, pol, p, false)
 }

@@ -3,12 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"awgsim/awg"
 	"awgsim/internal/event"
 	"awgsim/internal/gpu"
-	"awgsim/internal/kernels"
-	"awgsim/internal/mem"
 	"awgsim/internal/metrics"
+	"awgsim/internal/sim"
 )
 
 // Priority reproduces the benefit the paper claims in Section V.D
@@ -26,22 +24,39 @@ import (
 // holder, stalling the whole kernel for the high-priority kernel's
 // entire residence.
 func Priority(o Options) (*metrics.Table, error) {
-	t := metrics.NewTable("Priority injection: HP latency and LP overhead per policy",
-		"Benchmark", "Policy", "LPalone", "LPwithHP", "LPoverhead", "HPlatency")
+	benches := []string{"SPM_G", "TB_LG"}
+	pols := []string{"Baseline", "Timeout", "MonNR-All", "AWG"}
 	injectAt := event.Cycle(50_000)
 	if o.Quick {
 		injectAt = 5_000
 	}
-	for _, bench := range []string{"SPM_G", "TB_LG"} {
-		for _, pol := range []string{"Baseline", "Timeout", "MonNR-All", "AWG"} {
-			alone, err := o.run(bench, pol, false, priorityIters(o))
-			if err != nil {
-				return nil, fmt.Errorf("priority %s/%s alone: %w", bench, pol, err)
-			}
-			lp, hpLatency, err := o.runWithInjection(bench, pol, injectAt)
-			if err != nil {
-				return nil, fmt.Errorf("priority %s/%s injected: %w", bench, pol, err)
-			}
+	// Interleave the alone/injected pairs into one batch: even job indices
+	// are the uninjected references, odd the injected runs.
+	var jobs []sim.Job
+	for _, b := range benches {
+		for _, p := range pols {
+			alone := o.simConfig(cell{bench: b, policy: p, iters: priorityIters(o)})
+			injected := alone
+			injected.Inject = &sim.Injection{Spec: o.highPriorityKernel(), At: injectAt, Priority: 1}
+			jobs = append(jobs,
+				sim.Job{Key: b + "/" + p + "/alone", Config: alone},
+				sim.Job{Key: b + "/" + p + "/injected", Config: injected})
+		}
+	}
+	outs := sim.RunAll(jobs)
+	for _, out := range outs {
+		if out.Err != nil {
+			return nil, fmt.Errorf("priority %s: %w", out.Key, out.Err)
+		}
+	}
+	t := metrics.NewTable("Priority injection: HP latency and LP overhead per policy",
+		"Benchmark", "Policy", "LPalone", "LPwithHP", "LPoverhead", "HPlatency")
+	i := 0
+	for _, b := range benches {
+		for _, p := range pols {
+			alone, injected := outs[i].Result, outs[i+1]
+			i += 2
+			lp := injected.Result
 			overhead := "-"
 			if alone.Cycles > 0 && !lp.Deadlocked {
 				overhead = fmt.Sprintf("%.2fx", float64(lp.Cycles)/float64(alone.Cycles))
@@ -50,7 +65,7 @@ func Priority(o Options) (*metrics.Table, error) {
 			if lp.Deadlocked {
 				lpCell = deadlockMark
 			}
-			t.AddRow(bench, pol, alone.Cycles, lpCell, overhead, hpLatency)
+			t.AddRow(b, p, alone.Cycles, lpCell, overhead, injected.InjectedLatency)
 		}
 	}
 	return t, nil
@@ -63,34 +78,15 @@ func priorityIters(o Options) int {
 	return 25 // long enough that the injection lands mid-kernel
 }
 
-// runWithInjection runs the benchmark with a high-priority compute kernel
-// (one CU's worth of WGs, ~20k cycles each) injected at injectAt.
-func (o Options) runWithInjection(bench, pol string, injectAt event.Cycle) (metrics.Result, uint64, error) {
-	p := o.params()
-	if it := priorityIters(o); it > 0 {
-		p.Iters = it
-	}
-	b, err := kernels.Build(bench, p)
-	if err != nil {
-		return metrics.Result{}, 0, err
-	}
-	policy, err := awg.NewPolicy(pol)
-	if err != nil {
-		return metrics.Result{}, 0, err
-	}
+// highPriorityKernel builds the injected compute kernel: one CU's worth of
+// WGs, ~20k cycles each.
+func (o Options) highPriorityKernel() *gpu.KernelSpec {
 	cfg := o.gpuConfig()
-	m, err := gpu.NewMachine(cfg, mem.DefaultConfig(), &b.Spec, policy)
-	if err != nil {
-		return metrics.Result{}, 0, err
-	}
-	if b.Init != nil {
-		b.Init(m.Mem().Write)
-	}
 	hpWork := event.Cycle(20_000)
 	if o.Quick {
 		hpWork = 4_000
 	}
-	hp := &gpu.KernelSpec{
+	return &gpu.KernelSpec{
 		Name:       "HighPriority",
 		NumWGs:     cfg.MaxWGsPerCU, // one CU's worth
 		WIsPerWG:   64,
@@ -98,15 +94,4 @@ func (o Options) runWithInjection(bench, pol string, injectAt event.Cycle) (metr
 		SGPRsPerWF: 128,
 		Program:    func(d gpu.Device) { d.Compute(hpWork) },
 	}
-	h, err := m.InjectKernel(hp, injectAt, 1)
-	if err != nil {
-		return metrics.Result{}, 0, err
-	}
-	res := m.Run()
-	if !res.Deadlocked && b.Verify != nil {
-		if verr := b.Verify(m.Mem().Read); verr != nil {
-			return res, 0, fmt.Errorf("validation after injection: %w", verr)
-		}
-	}
-	return res, h.Latency(), nil
 }

@@ -24,20 +24,24 @@ func Fig7Intervals() []string {
 // busy waiting up to a point, over-sleeping becomes counterproductive, and
 // no single interval is best everywhere.
 func Fig7(o Options) (*metrics.Table, error) {
+	var cells []cell
+	for _, b := range Fig7Benchmarks() {
+		cells = append(cells, cell{bench: b, policy: "Baseline"})
+		for _, iv := range Fig7Intervals() {
+			cells = append(cells, cell{bench: b, policy: "Sleep-" + iv})
+		}
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 %w", err)
+	}
 	cols := append([]string{"Benchmark", "Baseline"}, prefixAll("Sleep-", Fig7Intervals())...)
 	t := metrics.NewTable("Figure 7: Sleep-Xk runtime normalized to Baseline", cols...)
 	for _, b := range Fig7Benchmarks() {
-		base, err := o.run(b, "Baseline", false, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", b, err)
-		}
+		base := grid[cell{bench: b, policy: "Baseline"}]
 		row := []any{b, 1.0}
 		for _, iv := range Fig7Intervals() {
-			res, err := o.run(b, "Sleep-"+iv, false, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s/Sleep-%s: %w", b, iv, err)
-			}
-			row = append(row, res.NormalizedRuntime(base))
+			row = append(row, grid[cell{bench: b, policy: "Sleep-" + iv}].NormalizedRuntime(base))
 		}
 		t.AddRow(row...)
 	}
@@ -52,20 +56,24 @@ func Fig8Intervals() []string { return []string{"1k", "5k", "10k", "20k", "50k",
 // different primitives prefer different intervals, and some intervals are
 // much worse than busy waiting.
 func Fig8(o Options) (*metrics.Table, error) {
+	var cells []cell
+	for _, b := range kernels.All() {
+		cells = append(cells, cell{bench: b, policy: "Baseline"})
+		for _, iv := range Fig8Intervals() {
+			cells = append(cells, cell{bench: b, policy: "Timeout-" + iv})
+		}
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig8 %w", err)
+	}
 	cols := append([]string{"Benchmark", "Baseline"}, prefixAll("Timeout-", Fig8Intervals())...)
 	t := metrics.NewTable("Figure 8: Timeout-Xk runtime normalized to Baseline", cols...)
 	for _, b := range kernels.All() {
-		base, err := o.run(b, "Baseline", false, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", b, err)
-		}
+		base := grid[cell{bench: b, policy: "Baseline"}]
 		row := []any{b, 1.0}
 		for _, iv := range Fig8Intervals() {
-			res, err := o.run(b, "Timeout-"+iv, false, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s/Timeout-%s: %w", b, iv, err)
-			}
-			row = append(row, res.NormalizedRuntime(base))
+			row = append(row, grid[cell{bench: b, policy: "Timeout-" + iv}].NormalizedRuntime(base))
 		}
 		t.AddRow(row...)
 	}
@@ -80,23 +88,28 @@ func Fig8(o Options) (*metrics.Table, error) {
 // earlier and wakes more of them).
 func Fig9(o Options) (*metrics.Table, error) {
 	pols := []string{"MonRS-All", "MonR-All", "MonNR-All"}
+	var cells []cell
+	for _, b := range kernels.All() {
+		cells = append(cells, cell{bench: b, policy: "MinResume"})
+		for _, p := range pols {
+			cells = append(cells, cell{bench: b, policy: p})
+		}
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig9 %w", err)
+	}
 	t := metrics.NewTable("Figure 9: dynamic atomics normalized to MinResume",
 		"Benchmark", "MinResume", "MonRS-All", "MonR-All", "MonNR-All")
 	for _, b := range kernels.All() {
-		base, err := o.run(b, "MinResume", false, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 %s/MinResume: %w", b, err)
-		}
+		base := grid[cell{bench: b, policy: "MinResume"}]
 		row := []any{b, 1.0}
 		for _, p := range pols {
-			res, err := o.run(b, p, false, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s/%s: %w", b, p, err)
-			}
 			if base.Atomics == 0 {
 				row = append(row, 0.0)
 				continue
 			}
+			res := grid[cell{bench: b, policy: p}]
 			row = append(row, float64(res.Atomics)/float64(base.Atomics))
 		}
 		t.AddRow(row...)
@@ -111,15 +124,22 @@ func Fig9(o Options) (*metrics.Table, error) {
 // mutexes.
 func Fig11(o Options) (*metrics.Table, error) {
 	pols := []string{"Timeout", "MonNR-All", "MonNR-One"}
+	var cells []cell
+	for _, b := range kernels.All() {
+		for _, p := range pols {
+			cells = append(cells, cell{bench: b, policy: p})
+		}
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig11 %w", err)
+	}
 	t := metrics.NewTable("Figure 11: WG execution breakdown normalized to Timeout",
 		"Benchmark", "Policy", "Running", "Waiting", "Total")
 	for _, b := range kernels.All() {
 		var baseTotal float64
 		for i, p := range pols {
-			res, err := o.run(b, p, false, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s/%s: %w", b, p, err)
-			}
+			res := grid[cell{bench: b, policy: p}]
 			total := float64(res.Breakdown.Running + res.Breakdown.Waiting)
 			if i == 0 {
 				baseTotal = total

@@ -35,14 +35,19 @@ func Table1(o Options) *metrics.Table {
 // columns.
 func Table2(o Options) (*metrics.Table, error) {
 	p := o.params()
+	var cells []cell
+	for _, name := range kernels.All() {
+		cells = append(cells, cell{bench: name, policy: "Baseline"})
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("table2 %w", err)
+	}
 	t := metrics.NewTable(
 		"Table 2: Inter-WG synchronization benchmarks [G total WGs, L WGs/CU, n WIs/WG]",
 		"Benchmark", "G", "L", "n", "SyncVars", "Conds", "MaxWaiters/Cond", "Updates/CondMet")
 	for _, name := range kernels.All() {
-		res, err := o.run(name, "Baseline", false, 0)
-		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", name, err)
-		}
+		res := grid[cell{bench: name, policy: "Baseline"}]
 		t.AddRow(name, p.NumWGs, p.WGsPerGroup(), p.WIsPerWG,
 			res.SyncVars, res.VarStats.Conditions, res.VarStats.MaxWaiters,
 			res.VarStats.UpdatesPerCond)
@@ -72,14 +77,19 @@ func Fig5(o Options) (*metrics.Table, error) {
 // condition is 16 B (address + value), a monitored address 8 B, a waiting
 // WG ID 4 B, and a monitor-table entry 20 B (condition + WG + state).
 func Fig13(o Options) (*metrics.Table, error) {
+	var cells []cell
+	for _, name := range kernels.All() {
+		cells = append(cells, cell{bench: name, policy: "AWG-nocache"})
+	}
+	grid, err := o.batch(cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig13 %w", err)
+	}
 	t := metrics.NewTable("Figure 13: CP scheduling structure sizes (KB), SyncMon cache disabled",
 		"Benchmark", "WaitingConds KB", "MonitoredAddrs KB", "WaitingWGs KB", "MonitorTable KB", "ContextStore MB")
 	cfg := o.gpuConfig()
 	for _, name := range kernels.All() {
-		res, err := o.run(name, "AWG-nocache", false, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig13 %s: %w", name, err)
-		}
+		res := grid[cell{bench: name, policy: "AWG-nocache"}]
 		spec, err := kernels.Build(name, o.params())
 		if err != nil {
 			return nil, err

@@ -1,0 +1,208 @@
+package gpu
+
+import (
+	"awgsim/internal/event"
+	"awgsim/internal/mem"
+	"awgsim/internal/metrics"
+	"awgsim/internal/trace"
+)
+
+// AtomicObserver is notified at bank-service time of every atomic, after
+// its value applies. The SyncMon implementations subscribe through this.
+type AtomicObserver func(by *WG, v Var, op AtomicOp, old, new int64)
+
+// atomicUnit is the production atomic pipeline: it routes atomics and
+// monitor arms to the variable's synchronization point with the memory
+// system's timing, applies value effects at bank-service time, fans out to
+// observers, and keeps the Table 2 synchronization characterization.
+type atomicUnit struct {
+	m         *Machine
+	observers []AtomicObserver
+
+	// Table 2 characterization, keyed by word-aligned address.
+	chars map[mem.Addr]*varChar
+}
+
+type varChar struct {
+	scope         Scope
+	wants         map[int64]bool
+	waiters       map[condKey]int // concurrent waiters per condition
+	maxWaiters    int
+	episodes      map[WGID]int // updates observed per active episode
+	updatesPerMet []int
+}
+
+type condKey struct {
+	addr mem.Addr
+	want int64
+}
+
+func newAtomicUnit(m *Machine) *atomicUnit {
+	return &atomicUnit{m: m, chars: make(map[mem.Addr]*varChar)}
+}
+
+func (p *atomicUnit) subscribe(f AtomicObserver) {
+	p.observers = append(p.observers, f)
+}
+
+// issue performs an atomic for w (nil for agent-issued operations such as
+// CP condition checks). The op's value effect and all monitor observations
+// happen at bank-service time; resp, if non-nil, runs at response time with
+// the op's returned value. atBank, if non-nil, runs at bank-service time
+// after observers — this is where waiting atomics register their condition
+// race-free.
+func (p *atomicUnit) issue(w *WG, v Var, op AtomicOp, a, b int64, atBank func(old, new int64), resp func(ret int64)) {
+	m := p.m
+	if w != nil && !w.Resident() {
+		w.Park(func() { p.issue(w, v, op, a, b, atBank, resp) })
+		return
+	}
+	m.Trace(w, trace.Attempt)
+	var applyAt, respAt event.Cycle
+	if v.Scope == Local && w != nil && int(w.cu) == v.Group {
+		applyAt, respAt = m.mem.LocalAtomicTiming(int(w.cu), v.Addr)
+	} else {
+		applyAt, respAt = m.mem.AtomicTiming(v.Addr)
+	}
+	var retVal int64
+	m.eng.At(applyAt, func() {
+		old := m.mem.Read(v.Addr)
+		newVal, ret := op.Apply(old, a, b)
+		retVal = ret
+		if newVal != old {
+			m.mem.Write(v.Addr, newVal)
+		}
+		if op.IsWrite() {
+			p.observeUpdate(v.Addr)
+		}
+		for _, obs := range p.observers {
+			obs(w, v, op, old, newVal)
+		}
+		if atBank != nil {
+			atBank(old, newVal)
+		}
+	})
+	if resp != nil {
+		m.eng.At(respAt, func() { resp(retVal) })
+	}
+}
+
+// arm sends a wait-instruction arm for w to the SyncMon at the L2: atBank
+// runs at bank-service time (where the monitor registers the condition —
+// any update applied between the triggering atomic and this instant is
+// missed, the paper's window of vulnerability), and resp at response time.
+func (p *atomicUnit) arm(w *WG, v Var, atBank func(), resp func()) {
+	m := p.m
+	if w != nil && !w.Resident() {
+		w.Park(func() { p.arm(w, v, atBank, resp) })
+		return
+	}
+	m.Trace(w, trace.Arm)
+	applyAt, respAt := m.mem.ArmTiming(v.Addr)
+	if atBank != nil {
+		m.eng.At(applyAt, atBank)
+	}
+	if resp != nil {
+		m.eng.At(respAt, resp)
+	}
+}
+
+// --- Table 2 characterization instrumentation ---
+
+func (p *atomicUnit) charFor(v Var) *varChar {
+	addr := v.Addr.WordAligned() // observeUpdate keys by aligned address
+	c := p.chars[addr]
+	if c == nil {
+		c = &varChar{
+			scope:    v.Scope,
+			wants:    make(map[int64]bool),
+			waiters:  make(map[condKey]int),
+			episodes: make(map[WGID]int),
+		}
+		p.chars[addr] = c
+	}
+	return c
+}
+
+func (p *atomicUnit) charBegin(w *WG, v Var, want int64) {
+	c := p.charFor(v)
+	c.wants[want] = true
+	k := condKey{v.Addr, want}
+	c.waiters[k]++
+	if c.waiters[k] > c.maxWaiters {
+		c.maxWaiters = c.waiters[k]
+	}
+	c.episodes[w.id] = 0
+}
+
+func (p *atomicUnit) charMet(w *WG, v Var, want int64) {
+	c := p.charFor(v)
+	k := condKey{v.Addr, want}
+	if c.waiters[k] > 0 {
+		c.waiters[k]--
+	}
+	if n, ok := c.episodes[w.id]; ok {
+		c.updatesPerMet = append(c.updatesPerMet, n)
+		delete(c.episodes, w.id)
+	}
+}
+
+func (p *atomicUnit) observeUpdate(a mem.Addr) {
+	if c, ok := p.chars[a.WordAligned()]; ok {
+		for id := range c.episodes {
+			c.episodes[id]++
+		}
+	}
+}
+
+// charSummary aggregates the Table 2 columns over a whole run.
+type charSummary struct {
+	syncVars int
+	stats    metrics.SyncVarStats
+}
+
+func (p *atomicUnit) characterization() charSummary {
+	var conds, maxW int
+	var updSum float64
+	var updN int
+	for _, c := range p.chars {
+		conds += len(c.wants)
+		if c.maxWaiters > maxW {
+			maxW = c.maxWaiters
+		}
+		for _, u := range c.updatesPerMet {
+			updSum += float64(u)
+			updN++
+		}
+	}
+	sum := charSummary{
+		syncVars: len(p.chars),
+		stats:    metrics.SyncVarStats{Conditions: conds, MaxWaiters: maxW},
+	}
+	if updN > 0 {
+		sum.stats.UpdatesPerCond = updSum / float64(updN)
+	}
+	return sum
+}
+
+// OnAtomicApply subscribes f to every atomic's bank-service instant.
+func (m *Machine) OnAtomicApply(f AtomicObserver) { m.atomics.subscribe(f) }
+
+// IssueAtomic performs an atomic for w (nil for agent-issued operations
+// such as CP condition checks). The op's value effect and all monitor
+// observations happen at bank-service time; resp, if non-nil, runs at
+// response time with the op's returned value. atBank, if non-nil, runs at
+// bank-service time after observers — this is where waiting atomics
+// register their condition race-free.
+func (m *Machine) IssueAtomic(w *WG, v Var, op AtomicOp, a, b int64, atBank func(old, new int64), resp func(ret int64)) {
+	m.atomics.issue(w, v, op, a, b, atBank, resp)
+}
+
+// IssueArm sends a wait-instruction arm for w to the SyncMon at the L2:
+// atBank runs at bank-service time (where the monitor registers the
+// condition — any update applied between the triggering atomic and this
+// instant is missed, the paper's window of vulnerability), and resp at
+// response time.
+func (m *Machine) IssueArm(w *WG, v Var, atBank func(), resp func()) {
+	m.atomics.arm(w, v, atBank, resp)
+}

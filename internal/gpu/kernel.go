@@ -56,6 +56,34 @@ func (k KernelSpec) validate() error {
 	return nil
 }
 
+// kernelRun tracks one kernel's execution on the machine. The primary
+// kernel is created with the machine; further kernels (e.g. a
+// high-priority job arriving mid-run) are injected with InjectKernel.
+type kernelRun struct {
+	spec      *KernelSpec
+	priority  int
+	wgs       []*WG
+	completed int
+	launched  event.Cycle
+	doneAt    event.Cycle
+}
+
+// KernelHandle reports an injected kernel's progress.
+type KernelHandle struct {
+	kr *kernelRun
+}
+
+// Done reports whether every WG of the kernel completed.
+func (h KernelHandle) Done() bool { return h.kr.completed == len(h.kr.wgs) }
+
+// Latency reports launch-to-completion in cycles (0 while running).
+func (h KernelHandle) Latency() uint64 {
+	if !h.Done() {
+		return 0
+	}
+	return uint64(h.kr.doneAt - h.kr.launched)
+}
+
 // Device is the programming interface a WG's program sees. Methods block
 // (in simulated time) until the operation completes. All atomic methods
 // return the value observed at the moment the operation was serviced at

@@ -30,57 +30,11 @@ type Policy interface {
 	Wait(w *WG, v Var, op AtomicOp, a, b, want int64, cmp Cmp, hint WaitHint, done func(observed int64))
 }
 
-// AtomicObserver is notified at bank-service time of every atomic, after
-// its value applies. The SyncMon implementations subscribe through this.
-type AtomicObserver func(by *WG, v Var, op AtomicOp, old, new int64)
-
-// Counters aggregates policy- and machine-level scheduling activity.
-// Policies increment their own fields through Machine.Count.
-type Counters struct {
-	SwitchesOut, SwitchesIn uint64
-	Stalls                  uint64
-	Resumes                 uint64
-	WastedResumes           uint64
-	Timeouts                uint64
-	PredictAll, PredictOne  uint64
-	BloomResets             uint64
-	LogSpills, LogRejects   uint64
-	MaxConditions           int
-	MaxWaitingWGs           int
-	MaxMonitoredVars        int
-	MaxLogEntries           int
-}
-
-// kernelRun tracks one kernel's execution on the machine. The primary
-// kernel is created with the machine; further kernels (e.g. a
-// high-priority job arriving mid-run) are injected with InjectKernel.
-type kernelRun struct {
-	spec      *KernelSpec
-	priority  int
-	wgs       []*WG
-	completed int
-	launched  event.Cycle
-	doneAt    event.Cycle
-}
-
-// KernelHandle reports an injected kernel's progress.
-type KernelHandle struct {
-	kr *kernelRun
-}
-
-// Done reports whether every WG of the kernel completed.
-func (h KernelHandle) Done() bool { return h.kr.completed == len(h.kr.wgs) }
-
-// Latency reports launch-to-completion in cycles (0 while running).
-func (h KernelHandle) Latency() uint64 {
-	if !h.Done() {
-		return 0
-	}
-	return uint64(h.kr.doneAt - h.kr.launched)
-}
-
-// Machine is the whole simulated GPU: engine, memory hierarchy, CUs,
-// dispatcher, the WG runtimes, and the active scheduling policy.
+// Machine is the whole simulated GPU. It owns the event engine, the memory
+// hierarchy, the WG runtimes and the device request loop, and wires three
+// collaborators (see subsystems.go) that do everything else: the dispatcher
+// places WGs onto CUs, the atomic pipeline services atomics at the L2, and
+// the context engine saves and restores WG contexts.
 type Machine struct {
 	cfg  Config
 	eng  *event.Engine
@@ -88,18 +42,13 @@ type Machine struct {
 	spec *KernelSpec
 	pol  Policy
 
-	cus     []*computeUnit
+	sched   dispatcher
+	atomics atomicPipeline
+	ctx     contextEngine
+
 	wgs     []*WG // primary kernel's WGs (results, charz)
 	kernels []*kernelRun
 	allWGs  []*WG // every WG on the machine, indexed by WGID
-
-	pending    []*WG // never-started WGs, in dispatch order
-	readyQueue []*WG // switched-out WGs whose conditions are met
-	queueSeq   uint64
-	dispFree   event.Cycle
-	kickQueued bool
-
-	observers []AtomicObserver
 
 	Count Counters
 
@@ -114,24 +63,7 @@ type Machine struct {
 
 	wgWait sync.WaitGroup
 
-	// Table 2 characterization.
-	chars map[mem.Addr]*varChar
-
 	jitterState uint64
-}
-
-type varChar struct {
-	scope         Scope
-	wants         map[int64]bool
-	waiters       map[condKey]int // concurrent waiters per condition
-	maxWaiters    int
-	episodes      map[WGID]int // updates observed per active episode
-	updatesPerMet []int
-}
-
-type condKey struct {
-	addr mem.Addr
-	want int64
 }
 
 // NewMachine builds a machine for one kernel launch under one policy.
@@ -151,17 +83,15 @@ func NewMachine(cfg Config, memCfg mem.Config, spec *KernelSpec, pol Policy) (*M
 		return nil, err
 	}
 	m := &Machine{
-		cfg:   cfg,
-		eng:   eng,
-		mem:   ms,
-		spec:  spec,
-		pol:   pol,
-		chars: make(map[mem.Addr]*varChar),
+		cfg:  cfg,
+		eng:  eng,
+		mem:  ms,
+		spec: spec,
+		pol:  pol,
 	}
-	m.cus = make([]*computeUnit, cfg.NumCUs)
-	for i := range m.cus {
-		m.cus[i] = newComputeUnit(CUID(i), cfg)
-	}
+	m.sched = newScheduler(m)
+	m.atomics = newAtomicUnit(m)
+	m.ctx = newCtxSwitcher(m)
 	// Build the WGs with their static home groups: WGs are assigned to
 	// scheduling groups in dispatch order, MaxWGsPerCU per group, wrapping
 	// over the CUs — the blocked placement the sequential dispatcher of
@@ -191,7 +121,7 @@ func NewMachine(cfg Config, memCfg mem.Config, spec *KernelSpec, pol Policy) (*M
 	}
 	m.kernels = []*kernelRun{primary}
 	m.allWGs = append(m.allWGs, m.wgs...)
-	m.enqueuePending(m.wgs)
+	m.sched.enqueuePending(m.wgs)
 	pol.Attach(m)
 	return m, nil
 }
@@ -230,117 +160,13 @@ func (m *Machine) InjectKernel(spec *KernelSpec, at event.Cycle, priority int) (
 	m.kernels = append(m.kernels, kr)
 	m.eng.At(at, func() {
 		kr.launched = m.eng.Now()
-		m.enqueuePending(kr.wgs)
+		m.sched.enqueuePending(kr.wgs)
 		if priority > 0 {
-			m.evictForRoom(kr)
+			m.sched.evictForRoom(kr)
 		}
-		m.kick()
+		m.sched.kick()
 	})
 	return KernelHandle{kr: kr}, nil
-}
-
-// enqueuePending inserts WGs into the pending queue in priority order
-// (stable: earlier kernels first within a priority).
-func (m *Machine) enqueuePending(wgs []*WG) {
-	for _, w := range wgs {
-		m.queueSeq++
-		w.queueSeq = m.queueSeq
-	}
-	m.pending = append(m.pending, wgs...)
-	sortWGQueue(m.pending)
-}
-
-// sortWGQueue orders a queue by (priority desc, arrival seq asc): higher
-// priority kernels jump ahead, but within a priority the queue stays FIFO
-// — anything else starves FIFO synchronization primitives (a ticket
-// holder re-queued behind perpetually re-trying lower-id WGs would never
-// get a slot).
-func sortWGQueue(q []*WG) {
-	for i := 1; i < len(q); i++ {
-		for j := i; j > 0; j-- {
-			a, b := q[j-1], q[j]
-			if b.kr.priority > a.kr.priority || (b.kr.priority == a.kr.priority && b.queueSeq < a.queueSeq) {
-				q[j-1], q[j] = b, a
-			} else {
-				break
-			}
-		}
-	}
-}
-
-// evictForRoom force-preempts resident lower-priority WGs until kr's WGs
-// all fit (waiting/stalled victims first — they were not making progress
-// anyway — then running ones).
-func (m *Machine) evictForRoom(kr *kernelRun) {
-	need := 0
-	for _, w := range kr.wgs {
-		if w.state == StatePending {
-			need++
-		}
-	}
-	free := 0
-	for _, cu := range m.cus {
-		if cu.enabled {
-			f := cu.wgSlots
-			if wf := cu.wfSlots / kr.spec.Wavefronts(m.cfg.SIMDWidth); wf < f {
-				f = wf
-			}
-			free += f
-		}
-	}
-	deficit := need - free
-	if deficit <= 0 {
-		return
-	}
-	// Victim selection: lower priority only; stalled before running;
-	// deterministic by WG id.
-	var victims []*WG
-	pass := func(wantStalled bool) {
-		for _, w := range m.allWGs {
-			if deficit <= len(victims) {
-				return
-			}
-			if w.state != StateResident || w.kr == kr || w.kr.priority >= kr.priority {
-				continue
-			}
-			if w.stalled != wantStalled {
-				continue
-			}
-			victims = append(victims, w)
-		}
-	}
-	pass(true)
-	pass(false)
-	for _, w := range victims {
-		m.forceEvict(w)
-	}
-}
-
-// forceEvict context switches a resident WG out on behalf of the
-// kernel-level scheduler; the WG requeues ready (it was not waiting on
-// the policy's say-so, so it wants its resources back).
-func (m *Machine) forceEvict(w *WG) {
-	if w.state != StateResident {
-		return
-	}
-	w.forcePreempted = true
-	w.state = StateSwitchingOut
-	w.readyWhenSaved = true
-	m.Count.SwitchesOut++
-	m.Trace(w, trace.SwitchOut)
-	cu := m.cus[w.cu]
-	m.eng.After(event.Cycle(m.cfg.CPLatency), func() {
-		doneAt := m.mem.ContextTraffic(w.spec.ContextBytes(m.cfg.SIMDWidth))
-		m.eng.At(doneAt, func() {
-			cu.release(w, m.cfg.SIMDWidth)
-			w.state = StateSwitchedOut
-			if w.readyWhenSaved {
-				w.readyWhenSaved = false
-				m.MarkReady(w)
-			}
-			m.kick()
-		})
-	})
 }
 
 // Engine exposes the event engine (harnesses use it to schedule the
@@ -360,18 +186,6 @@ func (m *Machine) Spec() *KernelSpec { return m.spec }
 // (read-only use by policies/tests).
 func (m *Machine) WGs() []*WG { return m.allWGs }
 
-// OnAtomicApply subscribes f to every atomic's bank-service instant.
-func (m *Machine) OnAtomicApply(f AtomicObserver) {
-	m.observers = append(m.observers, f)
-}
-
-// Oversubscribed reports whether other WGs are waiting for execution
-// resources — the paper's condition for context switching a waiting WG out
-// ("only if there are other WGs ready to be resumed or started").
-func (m *Machine) Oversubscribed() bool {
-	return len(m.pending) > 0 || len(m.readyQueue) > 0
-}
-
 // SetTracer attaches an optional timeline recorder; nil disables tracing.
 func (m *Machine) SetTracer(r *trace.Recorder) { m.tracer = r }
 
@@ -382,6 +196,11 @@ func (m *Machine) Trace(w *WG, kind trace.Kind) {
 		m.tracer.Record(m.eng.Now(), int(w.id), kind)
 	}
 }
+
+// SeedJitter perturbs the deterministic jitter stream. Runs with the same
+// seed are bit-identical; different seeds de-synchronize policy timeouts
+// without giving up replayability. Call before Run.
+func (m *Machine) SeedJitter(seed uint64) { m.jitterState = seed }
 
 // Jitter returns a deterministic pseudo-random value in [0, n), varying per
 // call; policies use it to de-synchronize timeouts without breaking replay.
@@ -410,313 +229,16 @@ func (m *Machine) SetStalled(w *WG, stalled bool) {
 	w.stalled = stalled
 }
 
-// issueFactor models SIMD issue-slot sharing on w's CU: compute throughput
-// divides among the wavefronts of the resident WGs that are actively
-// issuing (a 4-wavefront WG takes four slots' worth of issue bandwidth).
-func (m *Machine) issueFactor(w *WG) event.Cycle {
-	if !w.Resident() {
-		return 1
-	}
-	executing := 0
-	for _, r := range m.cus[w.cu].resident {
-		if !r.stalled && r.state == StateResident {
-			executing += r.spec.Wavefronts(m.cfg.SIMDWidth)
-		}
-	}
-	f := (executing + m.cfg.SIMDsPerCU - 1) / m.cfg.SIMDsPerCU
-	if f < 1 {
-		f = 1
-	}
-	return event.Cycle(f)
-}
-
-// IssueAtomic performs an atomic for w (nil for agent-issued operations
-// such as CP condition checks). The op's value effect and all monitor
-// observations happen at bank-service time; resp, if non-nil, runs at
-// response time with the op's returned value. atBank, if non-nil, runs at
-// bank-service time after observers — this is where waiting atomics
-// register their condition race-free.
-func (m *Machine) IssueAtomic(w *WG, v Var, op AtomicOp, a, b int64, atBank func(old, new int64), resp func(ret int64)) {
-	if w != nil && !w.Resident() {
-		w.Park(func() { m.IssueAtomic(w, v, op, a, b, atBank, resp) })
-		return
-	}
-	m.Trace(w, trace.Attempt)
-	var applyAt, respAt event.Cycle
-	if v.Scope == Local && w != nil && int(w.cu) == v.Group {
-		applyAt, respAt = m.mem.LocalAtomicTiming(int(w.cu), v.Addr)
-	} else {
-		applyAt, respAt = m.mem.AtomicTiming(v.Addr)
-	}
-	var retVal int64
-	m.eng.At(applyAt, func() {
-		old := m.mem.Read(v.Addr)
-		newVal, ret := op.Apply(old, a, b)
-		retVal = ret
-		if newVal != old {
-			m.mem.Write(v.Addr, newVal)
-		}
-		if op.IsWrite() {
-			m.observeUpdate(v.Addr)
-		}
-		for _, obs := range m.observers {
-			obs(w, v, op, old, newVal)
-		}
-		if atBank != nil {
-			atBank(old, newVal)
-		}
-	})
-	if resp != nil {
-		m.eng.At(respAt, func() { resp(retVal) })
-	}
-}
-
-// IssueArm sends a wait-instruction arm for w to the SyncMon at the L2:
-// atBank runs at bank-service time (where the monitor registers the
-// condition — any update applied between the triggering atomic and this
-// instant is missed, the paper's window of vulnerability), and resp at
-// response time.
-func (m *Machine) IssueArm(w *WG, v Var, atBank func(), resp func()) {
-	if w != nil && !w.Resident() {
-		w.Park(func() { m.IssueArm(w, v, atBank, resp) })
-		return
-	}
-	m.Trace(w, trace.Arm)
-	applyAt, respAt := m.mem.ArmTiming(v.Addr)
-	if atBank != nil {
-		m.eng.At(applyAt, atBank)
-	}
-	if resp != nil {
-		m.eng.At(respAt, resp)
-	}
-}
-
 // Done reports whether every WG of every kernel has completed.
 func (m *Machine) Done() bool { return m.completed == len(m.allWGs) }
 
-// Deliver runs f once w is resident: immediately if it already is,
-// otherwise f is parked and the WG is marked ready so the dispatcher swaps
-// it back in.
-func (m *Machine) Deliver(w *WG, f func()) {
-	if w.Resident() {
-		f()
-		return
-	}
-	w.Park(f)
-	m.MarkReady(w)
-}
-
-// MarkReady promotes a switched-out WG to the ready queue. Safe to call in
-// any state; only switched-out (or switching-out) WGs change state.
-func (m *Machine) MarkReady(w *WG) {
-	switch w.state {
-	case StateSwitchedOut:
-		w.state = StateReady
-		m.queueSeq++
-		w.queueSeq = m.queueSeq
-		m.readyQueue = append(m.readyQueue, w)
-		sortWGQueue(m.readyQueue)
-		m.kick()
-	case StateSwitchingOut:
-		w.readyWhenSaved = true
-	}
-}
-
-// SwitchOut context-switches a resident WG out: CP firmware latency plus
-// the context-save memory traffic, then the resources free and the
-// dispatcher runs. Policies call this for waiting WGs when the machine is
-// oversubscribed.
-func (m *Machine) SwitchOut(w *WG) {
-	if w.state != StateResident {
-		return
-	}
-	w.state = StateSwitchingOut
-	m.Count.SwitchesOut++
-	m.Trace(w, trace.SwitchOut)
-	cu := m.cus[w.cu]
-	m.eng.After(event.Cycle(m.cfg.CPLatency), func() {
-		doneAt := m.mem.ContextTraffic(w.spec.ContextBytes(m.cfg.SIMDWidth))
-		m.eng.At(doneAt, func() {
-			cu.release(w, m.cfg.SIMDWidth)
-			w.state = StateSwitchedOut
-			if w.readyWhenSaved {
-				w.readyWhenSaved = false
-				m.MarkReady(w)
-			}
-			m.kick()
-		})
-	})
-}
-
-// PreemptCU models the oversubscribed experiment's mid-kernel resource
-// loss: the CU is disabled, its L1 dropped, and every resident WG is
-// force-preempted (context saved and queued ready, since these WGs were
-// executing, not waiting).
-func (m *Machine) PreemptCU(id CUID) {
-	cu := m.cus[id]
-	if !cu.enabled {
-		return
-	}
-	cu.enabled = false
-	m.mem.InvalidateCU(int(id))
-	victims := make([]*WG, 0, len(cu.resident))
-	for _, w := range cu.resident {
-		victims = append(victims, w)
-	}
-	// Deterministic order.
-	for i := 0; i < len(victims); i++ {
-		for j := i + 1; j < len(victims); j++ {
-			if victims[j].id < victims[i].id {
-				victims[i], victims[j] = victims[j], victims[i]
-			}
-		}
-	}
-	for _, w := range victims {
-		w.forcePreempted = true
-		if w.state == StateResident {
-			w.state = StateSwitchingOut
-			w.readyWhenSaved = true // it was running; it wants back in
-			m.Count.SwitchesOut++
-			m.Trace(w, trace.SwitchOut)
-			m.eng.After(event.Cycle(m.cfg.CPLatency), func() {
-				doneAt := m.mem.ContextTraffic(w.spec.ContextBytes(m.cfg.SIMDWidth))
-				m.eng.At(doneAt, func() {
-					cu.release(w, m.cfg.SIMDWidth)
-					w.state = StateSwitchedOut
-					if w.readyWhenSaved {
-						w.readyWhenSaved = false
-						m.MarkReady(w)
-					}
-					m.kick()
-				})
-			})
-		}
-	}
-	m.kick()
-}
-
-// RestoreCU re-enables a previously preempted CU — the paper's dynamic
-// resource environment in the other direction: "resource availability
-// varies across kernel scheduling time slices". Queued ready WGs flow
-// back onto it immediately.
-func (m *Machine) RestoreCU(id CUID) {
-	cu := m.cus[id]
-	if cu.enabled {
-		return
-	}
-	cu.enabled = true
-	m.kick()
-}
-
-// EnabledCUs reports how many CUs are still enabled.
-func (m *Machine) EnabledCUs() int {
-	n := 0
-	for _, cu := range m.cus {
-		if cu.enabled {
-			n++
-		}
-	}
-	return n
-}
-
-// kick schedules one dispatcher pass (coalescing repeated requests within
-// an event).
-func (m *Machine) kick() {
-	if m.kickQueued {
-		return
-	}
-	m.kickQueued = true
-	m.eng.After(0, func() {
-		m.kickQueued = false
-		m.dispatchPass()
-	})
-}
-
-// pickCU chooses a CU for w, preferring its home group for local-scope
-// affinity.
-func (m *Machine) pickCU(w *WG) *computeUnit {
-	if home := m.cus[w.home]; home.canHost(w.spec, m.cfg.SIMDWidth) {
-		return home
-	}
-	for _, cu := range m.cus {
-		if cu.canHost(w.spec, m.cfg.SIMDWidth) {
-			return cu
-		}
-	}
-	return nil
-}
-
-// dispatchPass places ready WGs first (they are older and hold conditions
-// already met), then never-started pending WGs, until resources run out.
-func (m *Machine) dispatchPass() {
-	for {
-		// Pick across the two queues by (priority, then global arrival
-		// sequence). A re-readied WG takes a fresh sequence number each
-		// time it re-enters the ready queue, so a never-dispatched pending
-		// WG eventually outranks the churners — without this, a barrier
-		// kernel that oversubscribes the launch livelocks: the resident
-		// waiters cycle through the ready queue forever while the WGs they
-		// are waiting for starve in pending.
-		var w *WG
-		fromReady := false
-		if len(m.readyQueue) > 0 {
-			w = m.readyQueue[0]
-			fromReady = true
-		}
-		if len(m.pending) > 0 {
-			p := m.pending[0]
-			if w == nil || p.kr.priority > w.kr.priority ||
-				(p.kr.priority == w.kr.priority && p.queueSeq < w.queueSeq) {
-				w = p
-				fromReady = false
-			}
-		}
-		if w == nil {
-			return
-		}
-		cu := m.pickCU(w)
-		if cu == nil {
-			// The preferred head does not fit; try the other queue's head
-			// once (shapes differ across kernels), then give up.
-			var alt *WG
-			if fromReady && len(m.pending) > 0 {
-				alt = m.pending[0]
-			} else if !fromReady && len(m.readyQueue) > 0 {
-				alt = m.readyQueue[0]
-			}
-			if alt == nil {
-				return
-			}
-			if cu = m.pickCU(alt); cu == nil {
-				return
-			}
-			w, fromReady = alt, !fromReady
-		}
-		if fromReady {
-			m.readyQueue = m.readyQueue[1:]
-			m.switchIn(w, cu)
-		} else {
-			m.pending = m.pending[1:]
-			m.start(w, cu)
-		}
-	}
-}
-
-// dispatchSlot serializes dispatcher actions.
-func (m *Machine) dispatchSlot() event.Cycle {
-	at := m.eng.Now()
-	if m.dispFree > at {
-		at = m.dispFree
-	}
-	m.dispFree = at + event.Cycle(m.cfg.DispatchLatency)
-	return m.dispFree
-}
+// --- the WG request loop ---
 
 // start launches a pending WG on cu for the first time.
 func (m *Machine) start(w *WG, cu *computeUnit) {
 	cu.host(w, m.cfg.SIMDWidth)
 	w.state = StateResident
-	at := m.dispatchSlot()
+	at := m.sched.dispatchSlot()
 	m.eng.At(at, func() {
 		w.started = true
 		w.phaseStart = m.eng.Now()
@@ -737,34 +259,6 @@ func (m *Machine) start(w *WG, cu *computeUnit) {
 			w.req <- request{kind: reqDone}
 		}()
 		m.receive(w)
-	})
-}
-
-// switchIn restores a ready WG onto cu: CP latency plus context-restore
-// traffic, then parked continuations run.
-func (m *Machine) switchIn(w *WG, cu *computeUnit) {
-	cu.host(w, m.cfg.SIMDWidth)
-	w.state = StateSwitchingIn
-	m.Count.SwitchesIn++
-	at := m.dispatchSlot()
-	m.eng.At(at, func() {
-		m.eng.After(event.Cycle(m.cfg.CPLatency), func() {
-			doneAt := m.mem.ContextTraffic(w.spec.ContextBytes(m.cfg.SIMDWidth))
-			m.eng.At(doneAt, func() {
-				if !cu.enabled {
-					// The CU was preempted away mid-restore; requeue.
-					cu.release(w, m.cfg.SIMDWidth)
-					w.state = StateReady
-					m.readyQueue = append(m.readyQueue, w)
-					m.kick()
-					return
-				}
-				w.state = StateResident
-				m.progress()
-				m.Trace(w, trace.SwitchIn)
-				m.runParked(w)
-			})
-		})
 	})
 }
 
@@ -793,7 +287,7 @@ func (m *Machine) runCompute(w *WG, cycles event.Cycle) {
 		if c == 0 || c > remaining {
 			c = remaining
 		}
-		m.eng.After(c*m.issueFactor(w), func() { step(remaining - c) })
+		m.eng.After(c*m.sched.issueFactor(w), func() { step(remaining - c) })
 	}
 	step(cycles)
 }
@@ -842,7 +336,7 @@ func (m *Machine) handle(w *WG, r request) {
 		m.eng.At(respAt, func() { m.step(w, response{}) })
 
 	case reqAtomic:
-		m.IssueAtomic(w, r.v, r.op, r.a, r.b, nil, func(ret int64) {
+		m.atomics.issue(w, r.v, r.op, r.a, r.b, nil, func(ret int64) {
 			m.step(w, response{val: ret})
 		})
 
@@ -860,10 +354,10 @@ func (m *Machine) handle(w *WG, r request) {
 			cmp = CmpEQ
 		}
 		w.setPhase(now, true)
-		m.charBegin(w, r.v, r.want)
+		m.atomics.charBegin(w, r.v, r.want)
 		began := now
 		m.pol.Wait(w, r.v, op, a, b, r.want, cmp, r.hint, func(observed int64) {
-			m.charMet(w, r.v, r.want)
+			m.atomics.charMet(w, r.v, r.want)
 			if d := uint64(m.eng.Now() - began); d > m.maxWait {
 				m.maxWait = d
 			}
@@ -878,7 +372,7 @@ func (m *Machine) handle(w *WG, r request) {
 		w.closePhase(now)
 		w.finished = true
 		w.state = StateDone
-		m.cus[w.cu].release(w, m.cfg.SIMDWidth)
+		m.sched.cu(w.cu).release(w, m.cfg.SIMDWidth)
 		m.completed++
 		w.kr.completed++
 		if w.kr.completed == len(w.kr.wgs) {
@@ -886,58 +380,10 @@ func (m *Machine) handle(w *WG, r request) {
 		}
 		m.lastDoneAt = now
 		m.progress()
-		m.kick()
+		m.sched.kick()
 
 	default:
 		panic(fmt.Sprintf("gpu: unknown request kind %d", r.kind))
-	}
-}
-
-// --- Table 2 characterization instrumentation ---
-
-func (m *Machine) charFor(v Var) *varChar {
-	addr := v.Addr.WordAligned() // observeUpdate keys by aligned address
-	c := m.chars[addr]
-	if c == nil {
-		c = &varChar{
-			scope:    v.Scope,
-			wants:    make(map[int64]bool),
-			waiters:  make(map[condKey]int),
-			episodes: make(map[WGID]int),
-		}
-		m.chars[addr] = c
-	}
-	return c
-}
-
-func (m *Machine) charBegin(w *WG, v Var, want int64) {
-	c := m.charFor(v)
-	c.wants[want] = true
-	k := condKey{v.Addr, want}
-	c.waiters[k]++
-	if c.waiters[k] > c.maxWaiters {
-		c.maxWaiters = c.waiters[k]
-	}
-	c.episodes[w.id] = 0
-}
-
-func (m *Machine) charMet(w *WG, v Var, want int64) {
-	c := m.charFor(v)
-	k := condKey{v.Addr, want}
-	if c.waiters[k] > 0 {
-		c.waiters[k]--
-	}
-	if n, ok := c.episodes[w.id]; ok {
-		c.updatesPerMet = append(c.updatesPerMet, n)
-		delete(c.episodes, w.id)
-	}
-}
-
-func (m *Machine) observeUpdate(a mem.Addr) {
-	if c, ok := m.chars[a.WordAligned()]; ok {
-		for id := range c.episodes {
-			c.episodes[id]++
-		}
 	}
 }
 
@@ -948,7 +394,7 @@ func (m *Machine) Run() metrics.Result {
 		panic("gpu: Machine.Run called twice")
 	}
 	m.ran = true
-	m.kick()
+	m.sched.kick()
 	// Deadlock watchdog.
 	var watch func()
 	watch = func() {
@@ -985,70 +431,4 @@ func (m *Machine) abortLiveWGs() {
 		}
 	}
 	m.wgWait.Wait()
-}
-
-func (m *Machine) result(end event.Cycle) metrics.Result {
-	ms := m.mem.Stats()
-	res := metrics.Result{
-		Benchmark:  m.spec.Name,
-		Policy:     m.pol.Name(),
-		Deadlocked: m.deadlocked,
-
-		Atomics:      ms.Atomics + ms.LocalAtomics,
-		BankWait:     ms.BankWait,
-		ContextBytes: ms.ContextBytes,
-
-		SwitchesOut:   m.Count.SwitchesOut,
-		SwitchesIn:    m.Count.SwitchesIn,
-		Stalls:        m.Count.Stalls,
-		Resumes:       m.Count.Resumes,
-		WastedResumes: m.Count.WastedResumes,
-		Timeouts:      m.Count.Timeouts,
-		PredictAll:    m.Count.PredictAll,
-		PredictOne:    m.Count.PredictOne,
-		BloomResets:   m.Count.BloomResets,
-		LogSpills:     m.Count.LogSpills,
-		LogRejects:    m.Count.LogRejects,
-
-		MaxConditions:   m.Count.MaxConditions,
-		MaxWaitingWGs:   m.Count.MaxWaitingWGs,
-		MaxMonitoredVar: m.Count.MaxMonitoredVars,
-		MaxLogEntries:   m.Count.MaxLogEntries,
-
-		ContextKB: float64(m.spec.ContextBytes(m.cfg.SIMDWidth)) / 1024,
-		MaxWait:   m.maxWait,
-	}
-	res.Completed = m.kernels[0].completed
-	if m.deadlocked {
-		res.Cycles = uint64(end)
-	} else {
-		res.Cycles = uint64(m.kernels[0].doneAt)
-	}
-	for _, w := range m.wgs {
-		res.Breakdown.Running += w.runningCycles
-		res.Breakdown.Waiting += w.waitingCycles
-	}
-	// Table 2 characterization.
-	res.SyncVars = len(m.chars)
-	var conds, maxW int
-	var updSum float64
-	var updN int
-	for _, c := range m.chars {
-		conds += len(c.wants)
-		if c.maxWaiters > maxW {
-			maxW = c.maxWaiters
-		}
-		for _, u := range c.updatesPerMet {
-			updSum += float64(u)
-			updN++
-		}
-	}
-	res.VarStats = metrics.SyncVarStats{
-		Conditions: conds,
-		MaxWaiters: maxW,
-	}
-	if updN > 0 {
-		res.VarStats.UpdatesPerCond = updSum / float64(updN)
-	}
-	return res
 }

@@ -1,0 +1,73 @@
+package gpu
+
+import (
+	"awgsim/internal/event"
+	"awgsim/internal/metrics"
+)
+
+// Counters aggregates policy- and machine-level scheduling activity.
+// Policies increment their own fields through Machine.Count.
+type Counters struct {
+	SwitchesOut, SwitchesIn uint64
+	Stalls                  uint64
+	Resumes                 uint64
+	WastedResumes           uint64
+	Timeouts                uint64
+	PredictAll, PredictOne  uint64
+	BloomResets             uint64
+	LogSpills, LogRejects   uint64
+	MaxConditions           int
+	MaxWaitingWGs           int
+	MaxMonitoredVars        int
+	MaxLogEntries           int
+}
+
+// result assembles the run's metrics from the machine, the memory system,
+// and the atomic pipeline's characterization.
+func (m *Machine) result(end event.Cycle) metrics.Result {
+	ms := m.mem.Stats()
+	res := metrics.Result{
+		Benchmark:  m.spec.Name,
+		Policy:     m.pol.Name(),
+		Deadlocked: m.deadlocked,
+
+		Atomics:      ms.Atomics + ms.LocalAtomics,
+		BankWait:     ms.BankWait,
+		ContextBytes: ms.ContextBytes,
+
+		SwitchesOut:   m.Count.SwitchesOut,
+		SwitchesIn:    m.Count.SwitchesIn,
+		Stalls:        m.Count.Stalls,
+		Resumes:       m.Count.Resumes,
+		WastedResumes: m.Count.WastedResumes,
+		Timeouts:      m.Count.Timeouts,
+		PredictAll:    m.Count.PredictAll,
+		PredictOne:    m.Count.PredictOne,
+		BloomResets:   m.Count.BloomResets,
+		LogSpills:     m.Count.LogSpills,
+		LogRejects:    m.Count.LogRejects,
+
+		MaxConditions:   m.Count.MaxConditions,
+		MaxWaitingWGs:   m.Count.MaxWaitingWGs,
+		MaxMonitoredVar: m.Count.MaxMonitoredVars,
+		MaxLogEntries:   m.Count.MaxLogEntries,
+
+		ContextKB: float64(m.spec.ContextBytes(m.cfg.SIMDWidth)) / 1024,
+		MaxWait:   m.maxWait,
+	}
+	res.Completed = m.kernels[0].completed
+	if m.deadlocked {
+		res.Cycles = uint64(end)
+	} else {
+		res.Cycles = uint64(m.kernels[0].doneAt)
+	}
+	for _, w := range m.wgs {
+		res.Breakdown.Running += w.runningCycles
+		res.Breakdown.Waiting += w.waitingCycles
+	}
+	// Table 2 characterization.
+	sum := m.atomics.characterization()
+	res.SyncVars = sum.syncVars
+	res.VarStats = sum.stats
+	return res
+}

@@ -19,6 +19,11 @@ type Cache struct {
 
 	hits, misses uint64
 	pinnedCount  int
+
+	// lruClock is per-cache: only relative recency within one cache
+	// matters, and a process-wide clock would be shared mutable state
+	// across concurrently running simulations.
+	lruClock uint64
 }
 
 type cacheLine struct {
@@ -55,8 +60,6 @@ func (c *Cache) Ways() int { return c.ways }
 // Pinned reports how many lines are currently pinned.
 func (c *Cache) Pinned() int { return c.pinnedCount }
 
-var lruClock uint64
-
 func (c *Cache) index(a Addr) (set int, tag uint64) {
 	line := uint64(a) / uint64(c.lineSize)
 	return int(line % uint64(c.sets)), line / uint64(c.sets)
@@ -71,10 +74,10 @@ func (c *Cache) set(i int) []cacheLine { return c.lines[i*c.ways : (i+1)*c.ways]
 func (c *Cache) Access(a Addr, allocate bool) bool {
 	set, tag := c.index(a)
 	ways := c.set(set)
-	lruClock++
+	c.lruClock++
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
-			ways[i].lru = lruClock
+			ways[i].lru = c.lruClock
 			c.hits++
 			return true
 		}
@@ -99,7 +102,7 @@ func (c *Cache) Access(a Addr, allocate bool) bool {
 	if victim == -1 {
 		return false // fully pinned set: bypass
 	}
-	ways[victim] = cacheLine{tag: tag, valid: true, lru: lruClock}
+	ways[victim] = cacheLine{tag: tag, valid: true, lru: c.lruClock}
 	return false
 }
 

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"awgsim/internal/event"
+	"awgsim/internal/gpu"
+	"awgsim/internal/policy"
+)
+
+// Policies lists the canonical policy names in the paper's design-space
+// order.
+func Policies() []string {
+	return []string{
+		"Baseline", "Sleep", "Timeout",
+		"MonRS-All", "MonR-All", "MonNR-All", "MonNR-One",
+		"AWG", "MinResume",
+	}
+}
+
+// NewPolicy builds a scheduling policy from its name. Sleep and Timeout
+// accept an interval suffix in thousands of cycles: "Sleep-16k",
+// "Timeout-50k". Bare "Sleep" and "Timeout" use 16k and 20k respectively.
+func NewPolicy(name string) (gpu.Policy, error) {
+	switch name {
+	case "Baseline":
+		return policy.NewBaseline(), nil
+	case "Sleep":
+		return policy.NewSleep(name, 16_000), nil
+	case "Timeout":
+		return policy.NewTimeout(name, 20_000), nil
+	case "MonRS-All":
+		return policy.NewMonRSAll(), nil
+	case "MonR-All":
+		return policy.NewMonRAll(), nil
+	case "MonNR-All":
+		return policy.NewMonNRAll(), nil
+	case "MonNR-One":
+		return policy.NewMonNROne(), nil
+	case "AWG":
+		return policy.NewAWG(), nil
+	case "MinResume":
+		return policy.NewMinResume(), nil
+	case "AWG-nostall":
+		return policy.NewAWGNoStallPredict(), nil
+	case "AWG-nopredict":
+		return policy.NewAWGNoResumePredict(), nil
+	case "AWG-nocache":
+		// AWG with the SyncMon condition cache disabled: every waiting
+		// condition virtualizes through the Monitor Log and the CP — the
+		// configuration Figure 13 sizes the CP structures under.
+		return policy.NewAWGNoCache(), nil
+	}
+	if k, ok := strings.CutPrefix(name, "Sleep-"); ok {
+		iv, err := parseK(k)
+		if err != nil {
+			return nil, fmt.Errorf("sim: bad sleep interval %q: %w", name, err)
+		}
+		return policy.NewSleep(name, iv), nil
+	}
+	if k, ok := strings.CutPrefix(name, "Timeout-"); ok {
+		iv, err := parseK(k)
+		if err != nil {
+			return nil, fmt.Errorf("sim: bad timeout interval %q: %w", name, err)
+		}
+		return policy.NewTimeout(name, iv), nil
+	}
+	return nil, fmt.Errorf("sim: unknown policy %q", name)
+}
+
+// parseK parses "16k" or "500" into cycles.
+func parseK(s string) (event.Cycle, error) {
+	mult := event.Cycle(1)
+	if k, ok := strings.CutSuffix(s, "k"); ok {
+		mult = 1000
+		s = k
+	}
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("zero interval")
+	}
+	return event.Cycle(n) * mult, nil
+}

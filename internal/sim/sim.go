@@ -1,0 +1,216 @@
+// Package sim is the experiment-session layer between the public awg API /
+// the experiment harnesses and the GPU model underneath. It owns the
+// construction of one simulation — config → memory → machine → policy →
+// tracer — and provides a worker pool (RunAll) that fans *independent*
+// simulations out across OS cores.
+//
+// Each simulation keeps its single-goroutine deterministic event engine, so
+// a run's result is bit-identical whether it executes on the serial path or
+// inside the pool; only wall-clock time changes. That property is what lets
+// the paper's evaluation — hundreds of independent (benchmark × policy ×
+// oversubscription) runs — scale with the host machine, and it is enforced
+// by TestRunAllMatchesSerial.
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"awgsim/internal/event"
+	"awgsim/internal/gpu"
+	"awgsim/internal/kernels"
+	"awgsim/internal/mem"
+	"awgsim/internal/metrics"
+	"awgsim/internal/trace"
+)
+
+// Injection schedules a second kernel mid-run (the Section V.D priority
+// experiment): Spec launches at cycle At with the given priority.
+type Injection struct {
+	Spec     *gpu.KernelSpec
+	At       event.Cycle
+	Priority int
+}
+
+// Config describes one simulation. Zero-valued fields take the paper's
+// baseline (Table 1 machine, full launch, default policy parameters).
+type Config struct {
+	// Benchmark names the kernel: one of kernels.All()/Apps()/Extensions().
+	// Leave empty when Kernel supplies an explicit spec instead.
+	Benchmark string
+	// Policy names the scheduling architecture, including parameterized
+	// forms such as "Sleep-16k" / "Timeout-50k".
+	Policy string
+
+	// Kernel overrides Benchmark with an explicit kernel spec; Init and
+	// Verify then take the roles kernels.Benchmark gives them (either may
+	// be nil). The harness-built episodes (e.g. Figure 6's
+	// producer/consumer) use this.
+	Kernel *gpu.KernelSpec
+	Init   func(write func(mem.Addr, int64))
+	Verify func(read func(mem.Addr) int64) error
+
+	// GPU/Mem override the Table 1 machine when non-zero.
+	GPU gpu.Config
+	Mem mem.Config
+
+	// Params override the launch shape when NumWGs is non-zero.
+	Params kernels.Params
+
+	// Oversubscribe enables the dynamic resource-loss experiment: one CU is
+	// preempted at PreemptAt (default 100k cycles = 50 µs at 2 GHz).
+	Oversubscribe bool
+	PreemptAt     event.Cycle
+
+	// Inject optionally launches a second kernel mid-run.
+	Inject *Injection
+
+	// SkipVerify disables the post-run functional validation (used only by
+	// experiments that expect a deadlock).
+	SkipVerify bool
+
+	// Tracer, when non-nil, records the run's per-WG timeline.
+	Tracer *trace.Recorder
+
+	// Seed perturbs the machine's deterministic jitter stream. Runs with
+	// equal seeds are bit-identical; the default 0 reproduces the
+	// historical stream.
+	Seed uint64
+}
+
+// fill derives defaults.
+func (c *Config) fill() error {
+	if c.Benchmark == "" && c.Kernel == nil {
+		return fmt.Errorf("sim: no benchmark named")
+	}
+	if c.Policy == "" {
+		return fmt.Errorf("sim: no policy named")
+	}
+	if c.GPU.NumCUs == 0 {
+		c.GPU = gpu.DefaultConfig()
+	}
+	if c.Mem.LineSize == 0 {
+		c.Mem = mem.DefaultConfig()
+	}
+	if c.Params.NumWGs == 0 {
+		c.Params = kernels.DefaultParams()
+		c.Params.Groups = c.GPU.NumCUs
+		c.Params.NumWGs = c.GPU.NumCUs * c.GPU.MaxWGsPerCU
+	}
+	if c.PreemptAt == 0 {
+		c.PreemptAt = 100_000 // 50 µs at 2 GHz
+	}
+	return nil
+}
+
+// Session is one fully constructed simulation: machine built, memory
+// initialized, policy attached, tracer and scheduled events (CU preemption,
+// kernel injection) in place. Between NewSession and Run a harness may
+// reach through Machine() for bespoke setup the Config cannot express.
+type Session struct {
+	cfg    Config
+	m      *gpu.Machine
+	verify func(read func(mem.Addr) int64) error
+
+	injected    gpu.KernelHandle
+	hasInjected bool
+}
+
+// NewSession builds a simulation from cfg without running it.
+func NewSession(cfg Config) (*Session, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	spec := cfg.Kernel
+	initFn, verifyFn := cfg.Init, cfg.Verify
+	if spec == nil {
+		bench, err := kernels.Build(cfg.Benchmark, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		spec, initFn, verifyFn = &bench.Spec, bench.Init, bench.Verify
+	}
+	pol, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	m, err := gpu.NewMachine(cfg.GPU, cfg.Mem, spec, pol)
+	if err != nil {
+		return nil, err
+	}
+	if initFn != nil {
+		initFn(m.Mem().Write)
+	}
+	if cfg.Seed != 0 {
+		m.SeedJitter(cfg.Seed)
+	}
+	if cfg.Tracer != nil {
+		m.SetTracer(cfg.Tracer)
+	}
+	if cfg.Oversubscribe {
+		last := gpu.CUID(cfg.GPU.NumCUs - 1)
+		m.Engine().At(cfg.PreemptAt, func() { m.PreemptCU(last) })
+	}
+	s := &Session{cfg: cfg, m: m, verify: verifyFn}
+	if inj := cfg.Inject; inj != nil {
+		h, err := m.InjectKernel(inj.Spec, inj.At, inj.Priority)
+		if err != nil {
+			return nil, err
+		}
+		s.injected, s.hasInjected = h, true
+	}
+	return s, nil
+}
+
+// Machine exposes the constructed machine for bespoke pre-run setup and
+// post-run inspection (memory reads, extra injections).
+func (s *Session) Machine() *gpu.Machine { return s.m }
+
+// InjectedLatency reports the injected kernel's launch-to-finish latency
+// (0 when nothing was injected or it did not finish).
+func (s *Session) InjectedLatency() uint64 {
+	if !s.hasInjected {
+		return 0
+	}
+	return s.injected.Latency()
+}
+
+// Run executes the session's simulation to completion, deadlock, or the
+// cycle cap, then functionally validates a completed run (unless
+// SkipVerify). A deadlocked run is not an error — Result.Deadlocked
+// reports it. Run may be called once.
+func (s *Session) Run() (metrics.Result, error) {
+	res := s.m.Run()
+	totalCycles.Add(res.Cycles)
+	totalRuns.Add(1)
+	if !res.Deadlocked && !s.cfg.SkipVerify && s.verify != nil {
+		if verr := s.verify(s.m.Mem().Read); verr != nil {
+			return res, fmt.Errorf("sim: %s under %s completed but failed validation: %w",
+				res.Benchmark, res.Policy, verr)
+		}
+	}
+	return res, nil
+}
+
+// Run builds and executes one simulation.
+func Run(cfg Config) (metrics.Result, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	return s.Run()
+}
+
+// totalCycles/totalRuns account all simulated work since process start (or
+// the last ResetTotals); the awgexp bench-trajectory writer records them
+// next to wall-clock so perf baselines compare like with like.
+var (
+	totalCycles atomic.Uint64
+	totalRuns   atomic.Uint64
+)
+
+// Totals reports the simulated cycles and completed runs accounted so far.
+func Totals() (cycles, runs uint64) { return totalCycles.Load(), totalRuns.Load() }
+
+// ResetTotals zeroes the simulated-work accounting.
+func ResetTotals() { totalCycles.Store(0); totalRuns.Store(0) }
