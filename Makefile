@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench exp quick
+.PHONY: all build test race vet fmt fuzz ci bench exp quick
 
 all: build
 
@@ -21,9 +21,16 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# ci is the full gate: formatting, static checks, and the race-instrumented
-# test suite (which exercises the parallel experiment pool).
-ci: fmt vet race
+# fuzz runs a short native-fuzzing smoke over the fault scheduler: random
+# schedules through a small oversubscribed sim with the IFP invariant
+# enforced on every outcome.
+fuzz:
+	$(GO) test ./internal/fault -fuzz FuzzSchedule -fuzztime 5s -run '^$$'
+
+# ci is the full gate: formatting, static checks, the race-instrumented
+# test suite (which exercises the parallel experiment pool), and the
+# fault-scheduler fuzz smoke.
+ci: fmt vet race fuzz
 
 # bench regenerates the perf baseline the repository tracks.
 bench:

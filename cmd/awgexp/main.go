@@ -112,6 +112,11 @@ func main() {
 					fmt.Println(tl)
 				}
 			}
+			if e.ID == "faults" {
+				if ex, exErr := experiments.FaultsWorkedExample(opts); exErr == nil {
+					fmt.Println(ex)
+				}
+			}
 			fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, entry.WallSecs)
 		}
 		report.Experiments = append(report.Experiments, entry)

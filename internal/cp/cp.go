@@ -7,6 +7,8 @@
 package cp
 
 import (
+	"fmt"
+
 	"awgsim/internal/event"
 	"awgsim/internal/gpu"
 	"awgsim/internal/mem"
@@ -70,14 +72,15 @@ type Processor struct {
 
 	started bool
 	stopped func() bool
+	jitter  func(base event.Cycle) event.Cycle
 }
 
 // New builds a processor draining log on machine m. wake delivers met
 // conditions to the policy. stopped, if non-nil, lets the owner end the
 // periodic firmware loop (e.g. when the kernel completes).
-func New(cfg Config, m *gpu.Machine, log *syncmon.MonitorLog, wake syncmon.WakeFunc) *Processor {
+func New(cfg Config, m *gpu.Machine, log *syncmon.MonitorLog, wake syncmon.WakeFunc) (*Processor, error) {
 	if cfg.DrainInterval == 0 || cfg.CheckInterval == 0 || cfg.DrainBatch <= 0 {
-		panic("cp: bad config")
+		return nil, fmt.Errorf("cp: bad config %+v", cfg)
 	}
 	return &Processor{
 		cfg:     cfg,
@@ -87,7 +90,25 @@ func New(cfg Config, m *gpu.Machine, log *syncmon.MonitorLog, wake syncmon.WakeF
 		table:   make(map[condKey][]gpu.WGID),
 		removed: make(map[condKey]map[gpu.WGID]bool),
 		addrs:   make(map[mem.Addr]int),
+	}, nil
+}
+
+// SetCadenceJitter installs a hook that perturbs the firmware loops'
+// rescheduling intervals (fault injection models a busy or descheduled CP
+// by stretching its cadence). The hook receives the configured base
+// interval and returns the one to use; nil restores the exact cadence.
+func (p *Processor) SetCadenceJitter(f func(base event.Cycle) event.Cycle) { p.jitter = f }
+
+// cadence applies the jitter hook to a base interval, keeping the result
+// at least one cycle so the loops always advance.
+func (p *Processor) cadence(base event.Cycle) event.Cycle {
+	if p.jitter != nil {
+		base = p.jitter(base)
 	}
+	if base == 0 {
+		base = 1
+	}
+	return base
 }
 
 // Start arms the periodic firmware loops. stopUnless reports whether the
@@ -98,8 +119,8 @@ func (p *Processor) Start(keepRunning func() bool) {
 	}
 	p.started = true
 	p.stopped = func() bool { return keepRunning != nil && !keepRunning() }
-	p.m.Engine().After(p.cfg.DrainInterval, p.drainPass)
-	p.m.Engine().After(p.cfg.CheckInterval, p.checkPass)
+	p.m.Engine().After(p.cadence(p.cfg.DrainInterval), p.drainPass)
+	p.m.Engine().After(p.cadence(p.cfg.CheckInterval), p.checkPass)
 }
 
 // TableSize reports current spilled conditions tracked.
@@ -164,7 +185,7 @@ func (p *Processor) drainPass() {
 		}
 		p.noteHighWater()
 	}
-	p.m.Engine().After(p.cfg.DrainInterval, p.drainPass)
+	p.m.Engine().After(p.cadence(p.cfg.DrainInterval), p.drainPass)
 }
 
 // dropCond removes a condition from the table, maintaining the address
@@ -230,5 +251,5 @@ func (p *Processor) checkPass() {
 			}
 		})
 	}
-	p.m.Engine().After(p.cfg.CheckInterval, p.checkPass)
+	p.m.Engine().After(p.cadence(p.cfg.CheckInterval), p.checkPass)
 }

@@ -11,8 +11,8 @@ import (
 
 type nopPolicy struct{}
 
-func (nopPolicy) Name() string        { return "nop" }
-func (nopPolicy) Attach(*gpu.Machine) {}
+func (nopPolicy) Name() string              { return "nop" }
+func (nopPolicy) Attach(*gpu.Machine) error { return nil }
 func (nopPolicy) Wait(*gpu.WG, gpu.Var, gpu.AtomicOp, int64, int64, int64, gpu.Cmp, gpu.WaitHint, func(int64)) {
 }
 
@@ -39,9 +39,12 @@ func newHarness(t *testing.T, cfg Config) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{m: m, log: syncmon.NewMonitorLog(64)}
-	h.p = New(cfg, m, h.log, func(wg gpu.WGID, addr mem.Addr, want int64, met bool) {
+	h.p, err = New(cfg, m, h.log, func(wg gpu.WGID, addr mem.Addr, want int64, met bool) {
 		h.wakes = append(h.wakes, wakeRec{wg, addr, want, met})
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h.p.Start(func() bool { return !h.done })
 	return h
 }
@@ -52,13 +55,13 @@ func (h *harness) runFor(d event.Cycle) {
 	h.m.Engine().RunUntil(h.m.Engine().Now() + d)
 }
 
-func TestConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bad config accepted")
-		}
-	}()
-	newHarness(t, Config{})
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(Config{}, nil, nil, nil); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := New(Config{DrainInterval: 1, CheckInterval: 1}, nil, nil, nil); err == nil {
+		t.Fatal("zero drain batch accepted")
+	}
 }
 
 func TestDrainAndCheckWakes(t *testing.T) {

@@ -55,12 +55,18 @@ func (h *eventHeap) Pop() any {
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; the GPU model funnels all activity through one goroutine.
 type Engine struct {
-	now       Cycle
-	seq       uint64
-	events    eventHeap
-	executed  uint64
-	stopped   bool
-	watchdogs []func(Cycle)
+	now      Cycle
+	seq      uint64
+	events   eventHeap
+	executed uint64
+	stopped  bool
+
+	// budget, when non-zero, caps the total events the engine will ever
+	// execute. A zero-delay event loop never advances the clock, so a
+	// cycle cap alone cannot terminate it; the event budget is the
+	// watchdog of last resort against such livelocks.
+	budget    uint64
+	budgetHit bool
 }
 
 // New returns an engine positioned at cycle zero with an empty calendar.
@@ -94,6 +100,17 @@ func (e *Engine) After(d Cycle, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// SetEventBudget caps the total number of events the engine will execute
+// across its lifetime; 0 (the default) disables the cap. Run/RunUntil stop
+// once the budget is exhausted, and BudgetExhausted reports it. The cap is
+// the livelock backstop: a zero-delay event loop never advances the clock,
+// so no cycle limit can end it, but every spin costs an event.
+func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
+
+// BudgetExhausted reports whether a Run/RunUntil stopped because the event
+// budget ran out.
+func (e *Engine) BudgetExhausted() bool { return e.budgetHit }
+
 // Stop makes the current Run/RunUntil call return after the in-flight event
 // completes. Further events remain on the calendar.
 func (e *Engine) Stop() { e.stopped = true }
@@ -122,6 +139,10 @@ func (e *Engine) RunUntil(limit Cycle) uint64 {
 	start := e.executed
 	for !e.stopped && len(e.events) > 0 {
 		if e.events[0].at > limit {
+			break
+		}
+		if e.budget != 0 && e.executed >= e.budget {
+			e.budgetHit = true
 			break
 		}
 		e.Step()

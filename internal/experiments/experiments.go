@@ -147,6 +147,7 @@ func All() []Experiment {
 		{"ablation", "Ablation: AWG predictor/virtualization variants", Ablation},
 		{"priority", "Priority: high-priority kernel injection (Section V.D)", Priority},
 		{"oversweep", "Launch oversubscription sweep (1x/2x/4x capacity)", Oversweep},
+		{"faults", "Fault injection: IFP under CU loss, monitor degradation, CP jitter", Faults},
 	}
 }
 

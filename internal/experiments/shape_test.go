@@ -305,6 +305,61 @@ func TestOversweepShape(t *testing.T) {
 	}
 }
 
+// The fault-injection experiment: Faults itself enforces the IFP invariant
+// (it returns an error on any violation), so the shape assertions here are
+// structural — Baseline deadlocks on every schedule, every IFP policy posts
+// a numeric runtime in every schedule column, and the schedule set carries
+// both the scripted and the seeded-random columns.
+func TestFaultsShape(t *testing.T) {
+	tab, err := Faults(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, rows := cells(t, tab)
+	for _, name := range []string{"flap", "rolling", "squeeze", "jitter", "halfdown", "rand-1", "rand-8"} {
+		found := false
+		for _, h := range header {
+			if h == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("schedule column %q missing from %v", name, header)
+		}
+	}
+	schedCols := header[2:]
+	if len(schedCols) < 12 {
+		t.Errorf("%d schedule columns, want >= 12 (scripted + random)", len(schedCols))
+	}
+	for _, row := range rows {
+		pol := row[1]
+		for _, col := range schedCols {
+			cell := field(t, header, row, col)
+			if pol == "Baseline" {
+				if cell != "DEADLOCK" {
+					t.Errorf("%s/Baseline under %s = %s, want DEADLOCK", row[0], col, cell)
+				}
+			} else if num(t, header, row, col) <= 0 {
+				t.Errorf("%s/%s under %s: non-positive runtime", row[0], pol, col)
+			}
+		}
+	}
+}
+
+// The Baseline worked example must render a full diagnosis naming the
+// blocking conditions.
+func TestFaultsWorkedExample(t *testing.T) {
+	ex, err := FaultsWorkedExample(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"deadlock diagnosis:", "progress-stall", "blocked on [0x", "scheduler:"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("worked example missing %q:\n%s", want, ex)
+		}
+	}
+}
+
 // The priority-injection experiment: the high-priority kernel always
 // finishes, and under AWG the low-priority mutex kernel barely notices
 // (its waiters were parked anyway).

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 16; seed++ {
+		a := Random(seed, 8, 10_000, 80_000)
+		b := Random(seed, 8, 10_000, 80_000)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n%+v\n%+v", seed, a, b)
+		}
+		if len(a.Events) < 1 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+		if err := a.Validate(8); err != nil {
+			t.Fatalf("seed %d: generated schedule invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomSeedsDiffer(t *testing.T) {
+	a := Random(1, 8, 10_000, 80_000)
+	b := Random(2, 8, 10_000, 80_000)
+	if reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestScriptedValidate(t *testing.T) {
+	for _, s := range Scripted(8, 10_000) {
+		if err := s.Validate(8); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if len(s.Events) == 0 {
+			t.Errorf("%s: no events", s.Name)
+		}
+	}
+	// The single-CU fallback still yields at least the capacity squeeze.
+	one := Scripted(1, 10_000)
+	if len(one) == 0 {
+		t.Fatal("no single-CU schedules")
+	}
+	for _, s := range one {
+		if err := s.Validate(1); err != nil {
+			t.Errorf("single-CU %s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched Schedule
+	}{
+		{"cu out of range", Schedule{Name: "bad", Events: []Event{
+			{At: 10, Op: CULoss, CU: 8},
+		}}},
+		{"negative cu", Schedule{Name: "bad", Events: []Event{
+			{At: 10, Op: CULoss, CU: -1},
+		}}},
+		{"double loss", Schedule{Name: "bad", Events: []Event{
+			{At: 10, Op: CULoss, CU: 3},
+			{At: 20, Op: CULoss, CU: 3},
+		}}},
+		{"restore not lost", Schedule{Name: "bad", Events: []Event{
+			{At: 10, Op: CURestore, CU: 3},
+		}}},
+		{"all CUs lost", Schedule{Name: "bad", Events: []Event{
+			{At: 10, Op: CULoss, CU: 0},
+			{At: 20, Op: CULoss, CU: 1},
+		}}},
+		{"unordered", Schedule{Name: "bad", Events: []Event{
+			{At: 20, Op: CULoss, CU: 0},
+			{At: 10, Op: CURestore, CU: 0},
+		}}},
+		{"zero ways", Schedule{Name: "bad", Events: []Event{
+			{At: 10, Op: DegradeSyncMon, Ways: 0, WaitList: 8},
+		}}},
+		{"negative waitlist", Schedule{Name: "bad", Events: []Event{
+			{At: 10, Op: DegradeSyncMon, Ways: 1, WaitList: -1},
+		}}},
+		{"unknown op", Schedule{Name: "bad", Events: []Event{
+			{At: 10, Op: Op(99)},
+		}}},
+	}
+	for _, c := range cases {
+		if err := c.sched.Validate(2); err == nil {
+			t.Errorf("%s: Validate accepted %v", c.name, c.sched.Events)
+		}
+	}
+	if err := (Schedule{}).Validate(0); err == nil {
+		t.Error("zero-CU machine accepted")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		CULoss: "cu-loss", CURestore: "cu-restore",
+		DegradeSyncMon: "degrade-syncmon", JitterCP: "jitter-cp",
+		Op(99): "?",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+	s := Schedule{Name: "flap", Events: make([]Event, 3)}
+	if got := s.String(); got != "flap(3 events)" {
+		t.Errorf("Schedule.String() = %q", got)
+	}
+}
+
+func TestProvidesIFP(t *testing.T) {
+	for pol, want := range map[string]bool{
+		"Baseline":   false,
+		"Sleep":      false,
+		"Sleep-16k":  false,
+		"Timeout":    true,
+		"Timeout-1m": true,
+		"MonR":       true,
+		"MonNR-All":  true,
+		"MonNR-One":  true,
+		"AWG":        true,
+	} {
+		if got := ProvidesIFP(pol); got != want {
+			t.Errorf("ProvidesIFP(%q) = %v, want %v", pol, got, want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package fault_test
+
+import (
+	"testing"
+
+	"awgsim/internal/fault"
+	"awgsim/internal/gpu"
+	"awgsim/internal/kernels"
+	"awgsim/internal/sim"
+)
+
+// FuzzSchedule feeds seed-generated fault schedules through a small
+// oversubscribed simulation under a rotating policy and enforces the IFP
+// invariant on every outcome: no panic, IFP policies complete verified,
+// non-IFP deadlocks carry a structured diagnosis. The Makefile's ci target
+// runs this for a short -fuzztime as a robustness smoke.
+func FuzzSchedule(f *testing.F) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		f.Add(seed, uint8(seed))
+	}
+	policies := []string{"Baseline", "Timeout", "MonNR-All", "AWG"}
+	f.Fuzz(func(t *testing.T, seed uint64, polIdx uint8) {
+		policy := policies[int(polIdx)%len(policies)]
+		gcfg := gpu.DefaultConfig()
+		gcfg.NumCUs = 2
+		gcfg.MaxWGsPerCU = 4
+		gcfg.ProgressWindow = 100_000
+		sched := fault.Random(seed, gcfg.NumCUs, 5_000, 40_000)
+		if err := sched.Validate(gcfg.NumCUs); err != nil {
+			t.Fatalf("generated schedule invalid: %v", err)
+		}
+		p := kernels.DefaultParams()
+		p.Groups = gcfg.NumCUs
+		p.NumWGs = 2 * gcfg.NumCUs * gcfg.MaxWGsPerCU // oversubscribed 2x
+		p.Iters = 3
+		res, err := sim.Run(sim.Config{
+			Benchmark:   "SPM_G",
+			Policy:      policy,
+			GPU:         gcfg,
+			Params:      p,
+			Faults:      &sched,
+			CycleBudget: 5_000_000,
+		})
+		if cerr := fault.CheckOutcome(policy, res, err); cerr != nil {
+			t.Fatal(cerr)
+		}
+	})
+}

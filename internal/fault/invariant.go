@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"awgsim/internal/metrics"
+)
+
+// ProvidesIFP reports whether a policy (by results name) guarantees
+// independent forward progress of work-groups. Baseline busy-waits and
+// Sleep backs off without ever yielding resources, so neither can make
+// progress when the WGs they wait for cannot be dispatched; every other
+// architecture in the design space eventually yields (timeout, monitor
+// notification, or fallback) and therefore must complete under any fault
+// schedule that leaves at least one CU enabled.
+func ProvidesIFP(policy string) bool {
+	if policy == "Baseline" {
+		return false
+	}
+	if policy == "Sleep" || strings.HasPrefix(policy, "Sleep-") {
+		return false
+	}
+	return true
+}
+
+// CheckOutcome enforces the IFP invariant on one run's outcome:
+//
+//   - an IFP-providing policy must complete (no error, not deadlocked) —
+//     a deadlock under any fault schedule is an IFP violation;
+//   - a non-IFP policy may deadlock, but a deadlocked run must carry a
+//     structured diagnosis — "diagnosed, not hung".
+//
+// A nil return means the invariant holds for this run.
+func CheckOutcome(policy string, res metrics.Result, err error) error {
+	if ProvidesIFP(policy) {
+		if err != nil {
+			return fmt.Errorf("fault: IFP policy %s failed: %w", policy, err)
+		}
+		if res.Deadlocked {
+			why := "no diagnosis"
+			if res.Diagnosis != nil {
+				why = res.Diagnosis.Summary()
+			}
+			return fmt.Errorf("fault: IFP policy %s deadlocked on %s: %s", policy, res.Benchmark, why)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fault: %s failed: %w", policy, err)
+	}
+	if res.Deadlocked && res.Diagnosis == nil {
+		return fmt.Errorf("fault: %s deadlocked on %s without a diagnosis", policy, res.Benchmark)
+	}
+	return nil
+}

@@ -18,6 +18,10 @@ type Config struct {
 
 	MaxCycles      uint64 // hard simulation cap
 	ProgressWindow uint64 // deadlock watchdog: max cycles without progress
+	// MaxEvents caps total engine events (0 = off): the backstop against
+	// zero-delay livelocks that never advance the simulated clock, which
+	// neither MaxCycles nor the progress watchdog can terminate.
+	MaxEvents uint64
 }
 
 // DefaultConfig returns the Table 1 machine: 8 CUs, 2 SIMD units of width

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"awgsim/internal/event"
@@ -18,8 +19,9 @@ type Policy interface {
 	Name() string
 	// Attach is called once before the kernel launches, giving the policy
 	// access to machine services (and letting it subscribe to atomic
-	// updates for its monitors).
-	Attach(m *Machine)
+	// updates for its monitors). A non-nil error (e.g. an invalid SyncMon
+	// or CP geometry) fails machine construction.
+	Attach(m *Machine) error
 	// Wait completes one synchronization episode for w: the program needs
 	// op (OpLoad for pure waits, OpExch/OpCAS for lock acquires, with
 	// operands a and b) to be retried until the value it returns equals
@@ -60,6 +62,9 @@ type Machine struct {
 	lastProgress event.Cycle
 	deadlocked   bool
 	ran          bool
+
+	diag      *metrics.Diagnosis
+	diagSinks []func(*metrics.Diagnosis)
 
 	wgWait sync.WaitGroup
 
@@ -122,7 +127,9 @@ func NewMachine(cfg Config, memCfg mem.Config, spec *KernelSpec, pol Policy) (*M
 	m.kernels = []*kernelRun{primary}
 	m.allWGs = append(m.allWGs, m.wgs...)
 	m.sched.enqueuePending(m.wgs)
-	pol.Attach(m)
+	if err := pol.Attach(m); err != nil {
+		return nil, fmt.Errorf("gpu: attaching policy %s: %w", pol.Name(), err)
+	}
 	return m, nil
 }
 
@@ -172,6 +179,16 @@ func (m *Machine) InjectKernel(spec *KernelSpec, at event.Cycle, priority int) (
 // Engine exposes the event engine (harnesses use it to schedule the
 // mid-kernel preemption of the oversubscribed experiment).
 func (m *Machine) Engine() *event.Engine { return m.eng }
+
+// Policy exposes the attached policy (fault injection type-asserts it to
+// reach monitor hardware when present).
+func (m *Machine) Policy() Policy { return m.pol }
+
+// AddDiagnostic registers a hook that enriches deadlock diagnoses; the
+// monitor policies use it to report SyncMon/CP occupancy.
+func (m *Machine) AddDiagnostic(f func(*metrics.Diagnosis)) {
+	m.diagSinks = append(m.diagSinks, f)
+}
 
 // Mem exposes the memory hierarchy.
 func (m *Machine) Mem() *mem.System { return m.mem }
@@ -354,6 +371,7 @@ func (m *Machine) handle(w *WG, r request) {
 			cmp = CmpEQ
 		}
 		w.setPhase(now, true)
+		w.waitVar, w.waitWant, w.waitCmp, w.waitBegan = r.v, r.want, cmp, now
 		m.atomics.charBegin(w, r.v, r.want)
 		began := now
 		m.pol.Wait(w, r.v, op, a, b, r.want, cmp, r.hint, func(observed int64) {
@@ -387,6 +405,67 @@ func (m *Machine) handle(w *WG, r request) {
 	}
 }
 
+// diagnose captures the machine's synchronization state for a run that
+// failed to finish: every unfinished WG, the conditions they block on,
+// queue occupancies, and policy-side monitor occupancy via the registered
+// diagnostic sinks.
+func (m *Machine) diagnose(reason string) *metrics.Diagnosis {
+	d := &metrics.Diagnosis{
+		Reason:       reason,
+		AtCycle:      uint64(m.eng.Now()),
+		LastProgress: uint64(m.lastProgress),
+		Completed:    m.completed,
+		Total:        len(m.allWGs),
+		EnabledCUs:   m.sched.enabledCUs(),
+		TotalCUs:     m.cfg.NumCUs,
+	}
+	d.PendingWGs, d.ReadyWGs = m.sched.queueLens()
+	now := m.eng.Now()
+	type condKey struct {
+		addr uint64
+		want int64
+		cmp  Cmp
+	}
+	conds := make(map[condKey][]int)
+	for _, w := range m.allWGs {
+		if w.finished {
+			continue
+		}
+		wd := metrics.WGDiag{ID: int(w.id), State: w.state.String(), CU: int(w.cu)}
+		if v, want, cmp, ok := w.WaitingOn(); ok {
+			wd.Blocked = true
+			wd.Addr = uint64(v.Addr)
+			wd.Want = want
+			wd.Cmp = cmp.String()
+			wd.StuckFor = uint64(now - w.waitBegan)
+			k := condKey{uint64(v.Addr), want, cmp}
+			conds[k] = append(conds[k], int(w.id))
+		}
+		d.WGs = append(d.WGs, wd)
+	}
+	keys := make([]condKey, 0, len(conds))
+	for k := range conds {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].addr != keys[j].addr {
+			return keys[i].addr < keys[j].addr
+		}
+		return keys[i].want < keys[j].want
+	})
+	for _, k := range keys {
+		ids := conds[k]
+		sort.Ints(ids)
+		d.Conditions = append(d.Conditions, metrics.BlockedCond{
+			Addr: k.addr, Want: k.want, Cmp: k.cmp.String(), Waiters: ids,
+		})
+	}
+	for _, f := range m.diagSinks {
+		f(d)
+	}
+	return d
+}
+
 // Run launches the kernel and simulates to completion, deadlock, or the
 // cycle cap. It may be called once.
 func (m *Machine) Run() metrics.Result {
@@ -394,8 +473,10 @@ func (m *Machine) Run() metrics.Result {
 		panic("gpu: Machine.Run called twice")
 	}
 	m.ran = true
+	m.eng.SetEventBudget(m.cfg.MaxEvents)
 	m.sched.kick()
-	// Deadlock watchdog.
+	// Deadlock watchdog: on a full progress window without any WG advancing,
+	// capture a structured diagnosis before stopping the engine.
 	var watch func()
 	watch = func() {
 		if m.Done() {
@@ -403,6 +484,7 @@ func (m *Machine) Run() metrics.Result {
 		}
 		if m.eng.Now()-m.lastProgress >= event.Cycle(m.cfg.ProgressWindow) {
 			m.deadlocked = true
+			m.diag = m.diagnose(metrics.ReasonProgressStall)
 			m.eng.Stop()
 			return
 		}
@@ -413,6 +495,15 @@ func (m *Machine) Run() metrics.Result {
 	m.eng.RunUntil(event.Cycle(m.cfg.MaxCycles))
 	if !m.Done() {
 		m.deadlocked = true
+		if m.diag == nil {
+			reason := metrics.ReasonCycleBudget
+			if m.eng.BudgetExhausted() {
+				reason = metrics.ReasonEventBudget
+			} else if m.eng.Pending() == 0 {
+				reason = metrics.ReasonNoEvents
+			}
+			m.diag = m.diagnose(reason)
+		}
 	}
 	end := m.eng.Now()
 	for _, w := range m.allWGs {

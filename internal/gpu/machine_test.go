@@ -10,8 +10,8 @@ import (
 // spinPolicy is a minimal busy-wait policy for machine tests.
 type spinPolicy struct{ m *Machine }
 
-func (p *spinPolicy) Name() string      { return "spin" }
-func (p *spinPolicy) Attach(m *Machine) { p.m = m }
+func (p *spinPolicy) Name() string            { return "spin" }
+func (p *spinPolicy) Attach(m *Machine) error { p.m = m; return nil }
 
 func (p *spinPolicy) Wait(w *WG, v Var, op AtomicOp, a, b, want int64, cmp Cmp, _ WaitHint, done func(int64)) {
 	var attempt func()
@@ -31,8 +31,8 @@ func (p *spinPolicy) Wait(w *WG, v Var, op AtomicOp, a, b, want int64, cmp Cmp, 
 // oversubscribed, for dispatcher/preemption tests.
 type yieldPolicy struct{ m *Machine }
 
-func (p *yieldPolicy) Name() string      { return "yield" }
-func (p *yieldPolicy) Attach(m *Machine) { p.m = m }
+func (p *yieldPolicy) Name() string            { return "yield" }
+func (p *yieldPolicy) Attach(m *Machine) error { p.m = m; return nil }
 
 func (p *yieldPolicy) Wait(w *WG, v Var, op AtomicOp, a, b, want int64, cmp Cmp, _ WaitHint, done func(int64)) {
 	var attempt func()
@@ -418,8 +418,8 @@ func TestStalledWGsFreeIssueSlots(t *testing.T) {
 // long timer.
 type stallingPolicy struct{ m *Machine }
 
-func (p *stallingPolicy) Name() string      { return "stalling" }
-func (p *stallingPolicy) Attach(m *Machine) { p.m = m }
+func (p *stallingPolicy) Name() string            { return "stalling" }
+func (p *stallingPolicy) Attach(m *Machine) error { p.m = m; return nil }
 
 func (p *stallingPolicy) Wait(w *WG, v Var, op AtomicOp, a, b, want int64, cmp Cmp, _ WaitHint, done func(int64)) {
 	var attempt func()

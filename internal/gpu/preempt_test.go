@@ -14,8 +14,8 @@ type evictMidAtomicPolicy struct {
 	evicted bool
 }
 
-func (p *evictMidAtomicPolicy) Name() string      { return "evict-mid-atomic" }
-func (p *evictMidAtomicPolicy) Attach(m *Machine) { p.m = m }
+func (p *evictMidAtomicPolicy) Name() string            { return "evict-mid-atomic" }
+func (p *evictMidAtomicPolicy) Attach(m *Machine) error { p.m = m; return nil }
 
 func (p *evictMidAtomicPolicy) Wait(w *WG, v Var, op AtomicOp, a, b, want int64, cmp Cmp, _ WaitHint, done func(int64)) {
 	var attempt func()

@@ -30,6 +30,7 @@ func (m *Machine) result(end event.Cycle) metrics.Result {
 		Benchmark:  m.spec.Name,
 		Policy:     m.pol.Name(),
 		Deadlocked: m.deadlocked,
+		Diagnosis:  m.diag,
 
 		Atomics:      ms.Atomics + ms.LocalAtomics,
 		BankWait:     ms.BankWait,

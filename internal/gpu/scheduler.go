@@ -62,6 +62,11 @@ func (s *scheduler) oversubscribed() bool {
 	return len(s.pending) > 0 || len(s.readyQueue) > 0
 }
 
+// queueLens reports the queue occupancies for deadlock diagnoses.
+func (s *scheduler) queueLens() (pending, ready int) {
+	return len(s.pending), len(s.readyQueue)
+}
+
 // sortWGQueue orders a queue by (priority desc, arrival seq asc): higher
 // priority kernels jump ahead, but within a priority the queue stays FIFO
 // — anything else starves FIFO synchronization primitives (a ticket

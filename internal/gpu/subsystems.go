@@ -45,6 +45,8 @@ type dispatcher interface {
 	forceEvict(w *WG)
 	// oversubscribed reports whether WGs are waiting for resources.
 	oversubscribed() bool
+	// queueLens reports the pending/ready queue occupancies (diagnostics).
+	queueLens() (pending, ready int)
 	// cu resolves a CU by id.
 	cu(id CUID) *computeUnit
 	// disableCU/enableCU flip a CU's availability, reporting whether the

@@ -77,7 +77,15 @@ type WG struct {
 	// policies don't need side tables. Opaque to the machine.
 	PolicyData any
 
-	waiting        bool // currently inside a wait episode (for breakdown)
+	waiting bool // currently inside a wait episode (for breakdown)
+	// The active wait episode's condition, recorded by the request loop so
+	// deadlock diagnoses can name what every blocked WG is waiting for
+	// without asking the policy. Valid while waiting is set.
+	waitVar   Var
+	waitWant  int64
+	waitCmp   Cmp
+	waitBegan event.Cycle
+
 	stalled        bool // parked without issuing instructions (frees issue slots)
 	phaseStart     event.Cycle
 	runningCycles  uint64
@@ -110,6 +118,15 @@ func (w *WG) Park(f func()) { w.parked = append(w.parked, f) }
 
 // Stalled reports whether the WG is parked without issuing instructions.
 func (w *WG) Stalled() bool { return w.stalled }
+
+// WaitingOn reports the condition of the WG's active wait episode, and
+// whether one is active at all.
+func (w *WG) WaitingOn() (v Var, want int64, cmp Cmp, ok bool) {
+	if !w.waiting {
+		return Var{}, 0, 0, false
+	}
+	return w.waitVar, w.waitWant, w.waitCmp, true
+}
 
 func (w *WG) String() string {
 	return fmt.Sprintf("WG%d[%s@cu%d]", w.id, w.state, w.cu)

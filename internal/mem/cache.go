@@ -35,20 +35,20 @@ type cacheLine struct {
 
 // NewCache builds a cache of the given total size, associativity and line
 // size. Size must be a multiple of ways*lineSize.
-func NewCache(sizeBytes, ways, lineSize int) *Cache {
+func NewCache(sizeBytes, ways, lineSize int) (*Cache, error) {
 	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 {
-		panic(fmt.Sprintf("mem: bad cache geometry %d/%d/%d", sizeBytes, ways, lineSize))
+		return nil, fmt.Errorf("mem: bad cache geometry %d/%d/%d", sizeBytes, ways, lineSize)
 	}
 	sets := sizeBytes / (ways * lineSize)
 	if sets == 0 || sizeBytes%(ways*lineSize) != 0 {
-		panic(fmt.Sprintf("mem: cache size %d not a multiple of ways*line %d", sizeBytes, ways*lineSize))
+		return nil, fmt.Errorf("mem: cache size %d not a multiple of ways*line %d", sizeBytes, ways*lineSize)
 	}
 	return &Cache{
 		sets:     sets,
 		ways:     ways,
 		lineSize: lineSize,
 		lines:    make([]cacheLine, sets*ways),
-	}
+	}, nil
 }
 
 // Sets reports the number of sets.

@@ -5,28 +5,41 @@ import (
 	"testing/quick"
 )
 
+// mustCache builds a cache, failing the test on a geometry error.
+func mustCache(t *testing.T, sizeBytes, ways, lineSize int) *Cache {
+	t.Helper()
+	c, err := NewCache(sizeBytes, ways, lineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestCacheGeometry(t *testing.T) {
-	c := NewCache(32<<10, 16, 64) // Table 1 L1
+	c := mustCache(t, 32<<10, 16, 64) // Table 1 L1
 	if c.Sets() != 32 {
 		t.Fatalf("32KB/16-way/64B cache has %d sets, want 32", c.Sets())
 	}
-	c2 := NewCache(512<<10, 16, 64) // Table 1 L2
+	c2 := mustCache(t, 512<<10, 16, 64) // Table 1 L2
 	if c2.Sets() != 512 {
 		t.Fatalf("512KB/16-way/64B cache has %d sets, want 512", c2.Sets())
 	}
 }
 
-func TestCacheBadGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bad geometry did not panic")
-		}
-	}()
-	NewCache(100, 16, 64)
+func TestCacheBadGeometryErrors(t *testing.T) {
+	if _, err := NewCache(100, 16, 64); err == nil {
+		t.Fatal("non-multiple cache size accepted")
+	}
+	if _, err := NewCache(0, 16, 64); err == nil {
+		t.Fatal("zero-size cache accepted")
+	}
+	if _, err := NewCache(1024, 0, 64); err == nil {
+		t.Fatal("zero-way cache accepted")
+	}
 }
 
 func TestCacheHitAfterFill(t *testing.T) {
-	c := NewCache(1024, 2, 64)
+	c := mustCache(t, 1024, 2, 64)
 	if c.Access(0x40, true) {
 		t.Fatal("cold access hit")
 	}
@@ -42,7 +55,7 @@ func TestCacheHitAfterFill(t *testing.T) {
 }
 
 func TestCacheNoAllocate(t *testing.T) {
-	c := NewCache(1024, 2, 64)
+	c := mustCache(t, 1024, 2, 64)
 	c.Access(0x40, false)
 	if c.Contains(0x40) {
 		t.Fatal("no-allocate access filled the line")
@@ -52,7 +65,7 @@ func TestCacheNoAllocate(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	// 2-way cache, one set worth of conflicting lines: A, B fill the set;
 	// touching A then inserting C must evict B.
-	c := NewCache(128, 2, 64) // 1 set, 2 ways
+	c := mustCache(t, 128, 2, 64) // 1 set, 2 ways
 	a, b, d := Addr(0), Addr(64), Addr(128)
 	c.Access(a, true)
 	c.Access(b, true)
@@ -70,7 +83,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCachePinSurvivesConflicts(t *testing.T) {
-	c := NewCache(128, 2, 64) // 1 set, 2 ways
+	c := mustCache(t, 128, 2, 64) // 1 set, 2 ways
 	lock := Addr(0)
 	if !c.Pin(lock) {
 		t.Fatal("pin failed on empty set")
@@ -92,7 +105,7 @@ func TestCachePinSurvivesConflicts(t *testing.T) {
 }
 
 func TestCacheFullyPinnedSetBypasses(t *testing.T) {
-	c := NewCache(128, 2, 64) // 1 set, 2 ways
+	c := mustCache(t, 128, 2, 64) // 1 set, 2 ways
 	c.Pin(0)
 	c.Pin(64)
 	if c.Pinned() != 2 {
@@ -112,7 +125,7 @@ func TestCacheFullyPinnedSetBypasses(t *testing.T) {
 }
 
 func TestCachePinIdempotent(t *testing.T) {
-	c := NewCache(1024, 2, 64)
+	c := mustCache(t, 1024, 2, 64)
 	c.Pin(0x40)
 	c.Pin(0x40)
 	if c.Pinned() != 1 {
@@ -126,7 +139,7 @@ func TestCachePinIdempotent(t *testing.T) {
 }
 
 func TestCacheInvalidateAll(t *testing.T) {
-	c := NewCache(1024, 2, 64)
+	c := mustCache(t, 1024, 2, 64)
 	c.Pin(0x40)
 	c.Access(0x80, true)
 	c.InvalidateAll()
@@ -143,7 +156,7 @@ func TestCacheInvalidateAll(t *testing.T) {
 // the number of valid lines never exceeds capacity.
 func TestCacheProperty(t *testing.T) {
 	f := func(addrs []uint16) bool {
-		c := NewCache(2048, 4, 64)
+		c := mustCache(t, 2048, 4, 64)
 		for _, a16 := range addrs {
 			a := Addr(a16)
 			c.Access(a, true)
@@ -159,7 +172,7 @@ func TestCacheProperty(t *testing.T) {
 }
 
 func TestCacheHitRate(t *testing.T) {
-	c := NewCache(1024, 2, 64)
+	c := mustCache(t, 1024, 2, 64)
 	if c.HitRate() != 0 {
 		t.Fatal("hit rate non-zero before any access")
 	}

@@ -123,18 +123,24 @@ func NewSystem(cfg Config, eng *event.Engine, numCUs int) (*System, error) {
 	if numCUs <= 0 {
 		return nil, fmt.Errorf("mem: numCUs %d", numCUs)
 	}
+	l2, err := NewCache(cfg.L2Bytes, cfg.L2Ways, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
 		cfg:       cfg,
 		eng:       eng,
 		values:    make(map[Addr]int64),
-		l2:        NewCache(cfg.L2Bytes, cfg.L2Ways, cfg.LineSize),
+		l2:        l2,
 		bankFree:  make([]event.Cycle, cfg.L2Banks),
 		localFree: make([]event.Cycle, numCUs),
 		chanFree:  make([]event.Cycle, cfg.DRAMChannels),
 	}
 	s.l1 = make([]*Cache, numCUs)
 	for i := range s.l1 {
-		s.l1[i] = NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.LineSize)
+		if s.l1[i], err = NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.LineSize); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }

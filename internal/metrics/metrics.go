@@ -34,6 +34,12 @@ type Result struct {
 	Deadlocked bool   // progress watchdog fired (expected for Baseline oversubscribed)
 	Completed  int    // WGs that ran to completion
 
+	// Diagnosis explains a deadlocked run: per-WG state, the blocking
+	// (address, expected) conditions, queue and monitor occupancy. Nil for
+	// completed runs. Results compare equal only when they share the same
+	// diagnosis object; compare deadlocked runs field-by-field instead.
+	Diagnosis *Diagnosis `json:",omitempty"`
+
 	// Instruction/traffic counters.
 	Atomics      uint64 // dynamic atomic instructions (global + local)
 	BankWait     uint64 // cycles atomics queued at L2 banks

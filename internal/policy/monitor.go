@@ -5,6 +5,7 @@ import (
 	"awgsim/internal/cp"
 	"awgsim/internal/event"
 	"awgsim/internal/gpu"
+	"awgsim/internal/metrics"
 	"awgsim/internal/syncmon"
 	"awgsim/internal/trace"
 )
@@ -159,20 +160,26 @@ func NewMonitor(opt MonitorOptions) *Monitor {
 
 func (p *Monitor) Name() string { return p.opt.Name }
 
-// Attach wires the SyncMon and CP onto the machine.
-func (p *Monitor) Attach(m *gpu.Machine) {
+// Attach wires the SyncMon and CP onto the machine; an invalid SyncMon or
+// CP geometry surfaces here as an error instead of a panic.
+func (p *Monitor) Attach(m *gpu.Machine) error {
 	p.m = m
 	smCfg := syncmon.DefaultConfig()
 	if p.opt.SyncMonConfig != nil {
 		smCfg = *p.opt.SyncMonConfig
 	}
 	smCfg.Sporadic = p.opt.Sporadic
-	p.sm = syncmon.New(smCfg, m, p.countingSelector(), p.onWake)
+	var err error
+	if p.sm, err = syncmon.New(smCfg, m, p.countingSelector(), p.onWake); err != nil {
+		return err
+	}
 	cpCfg := cp.DefaultConfig()
 	if p.opt.CPConfig != nil {
 		cpCfg = *p.opt.CPConfig
 	}
-	p.cpp = cp.New(cpCfg, m, p.sm.Log(), p.onWake)
+	if p.cpp, err = cp.New(cpCfg, m, p.sm.Log(), p.onWake); err != nil {
+		return err
+	}
 	p.cpp.Start(func() bool { return !m.Done() })
 	if p.opt.StallPredict {
 		// Predictions are clamped between one L2 round trip and the
@@ -181,7 +188,21 @@ func (p *Monitor) Attach(m *gpu.Machine) {
 		// immediately rather than squat on its CU.
 		p.stallPred = core.NewStallPredictor(256, 3_000)
 	}
+	m.AddDiagnostic(func(d *metrics.Diagnosis) {
+		d.SyncMonConditions = p.sm.Conditions()
+		d.SyncMonWaiters = p.sm.Waiters()
+		d.MonitorLogLen = p.sm.Log().Len()
+		d.CPTableSize = p.cpp.TableSize()
+	})
+	return nil
 }
+
+// SyncMon exposes the attached monitor hardware; nil before Attach. Fault
+// injection degrades its capacity through this accessor.
+func (p *Monitor) SyncMon() *syncmon.SyncMon { return p.sm }
+
+// CP exposes the attached Command Processor; nil before Attach.
+func (p *Monitor) CP() *cp.Processor { return p.cpp }
 
 // countingSelector wraps the configured selector so machine counters see
 // the predictor's decisions.

@@ -37,8 +37,8 @@ func NewBaseline() *Baseline {
 	return &Baseline{BackoffBase: 64, BackoffMax: 8192}
 }
 
-func (b *Baseline) Name() string          { return "Baseline" }
-func (b *Baseline) Attach(m *gpu.Machine) { b.m = m }
+func (b *Baseline) Name() string                { return "Baseline" }
+func (b *Baseline) Attach(m *gpu.Machine) error { b.m = m; return nil }
 
 func (b *Baseline) Wait(w *gpu.WG, v gpu.Var, op gpu.AtomicOp, a, b2, want int64, cmp gpu.Cmp, hint gpu.WaitHint, done func(int64)) {
 	backoff := b.BackoffBase
@@ -79,8 +79,8 @@ func NewSleep(name string, maxBackoff event.Cycle) *Sleep {
 	return &Sleep{Base: 512, MaxBackoff: maxBackoff, name: name}
 }
 
-func (s *Sleep) Name() string          { return s.name }
-func (s *Sleep) Attach(m *gpu.Machine) { s.m = m }
+func (s *Sleep) Name() string                { return s.name }
+func (s *Sleep) Attach(m *gpu.Machine) error { s.m = m; return nil }
 
 func (s *Sleep) Wait(w *gpu.WG, v gpu.Var, op gpu.AtomicOp, a, b, want int64, cmp gpu.Cmp, _ gpu.WaitHint, done func(int64)) {
 	backoff := s.Base
@@ -129,8 +129,8 @@ func NewTimeout(name string, interval event.Cycle) *Timeout {
 	return &Timeout{Interval: interval, name: name}
 }
 
-func (t *Timeout) Name() string          { return t.name }
-func (t *Timeout) Attach(m *gpu.Machine) { t.m = m }
+func (t *Timeout) Name() string                { return t.name }
+func (t *Timeout) Attach(m *gpu.Machine) error { t.m = m; return nil }
 
 func (t *Timeout) Wait(w *gpu.WG, v gpu.Var, op gpu.AtomicOp, a, b, want int64, cmp gpu.Cmp, _ gpu.WaitHint, done func(int64)) {
 	var attempt func()

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"awgsim/internal/event"
+	"awgsim/internal/fault"
 	"awgsim/internal/gpu"
 	"awgsim/internal/kernels"
 	"awgsim/internal/mem"
@@ -65,6 +66,17 @@ type Config struct {
 	// Inject optionally launches a second kernel mid-run.
 	Inject *Injection
 
+	// Faults, when non-nil, arms a fault-injection schedule on the machine
+	// (CU loss/restore, SyncMon degradation, CP cadence jitter).
+	Faults *fault.Schedule
+
+	// CycleBudget caps the run's simulated cycles (0 = the GPU config's
+	// MaxCycles). awgexp sets it so livelocked runs terminate diagnosed
+	// instead of burning the full two-billion-cycle default. It also arms
+	// an event budget (64 events/cycle) against zero-delay livelocks that
+	// never advance the clock.
+	CycleBudget uint64
+
 	// SkipVerify disables the post-run functional validation (used only by
 	// experiments that expect a deadlock).
 	SkipVerify bool
@@ -99,6 +111,14 @@ func (c *Config) fill() error {
 	}
 	if c.PreemptAt == 0 {
 		c.PreemptAt = 100_000 // 50 µs at 2 GHz
+	}
+	if c.CycleBudget != 0 {
+		if c.GPU.MaxCycles == 0 || c.CycleBudget < c.GPU.MaxCycles {
+			c.GPU.MaxCycles = c.CycleBudget
+		}
+		if c.GPU.MaxEvents == 0 {
+			c.GPU.MaxEvents = c.CycleBudget * 64
+		}
 	}
 	return nil
 }
@@ -150,6 +170,11 @@ func NewSession(cfg Config) (*Session, error) {
 	if cfg.Oversubscribe {
 		last := gpu.CUID(cfg.GPU.NumCUs - 1)
 		m.Engine().At(cfg.PreemptAt, func() { m.PreemptCU(last) })
+	}
+	if cfg.Faults != nil {
+		if err := fault.Arm(m, *cfg.Faults); err != nil {
+			return nil, err
+		}
 	}
 	s := &Session{cfg: cfg, m: m, verify: verifyFn}
 	if inj := cfg.Inject; inj != nil {

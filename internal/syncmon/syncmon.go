@@ -206,9 +206,9 @@ type SyncMon struct {
 
 // New builds a SyncMon on machine m. selector picks resume counts in
 // checking mode (ignored when cfg.Sporadic); wake delivers notifications.
-func New(cfg Config, m *gpu.Machine, selector ResumeSelector, wake WakeFunc) *SyncMon {
+func New(cfg Config, m *gpu.Machine, selector ResumeSelector, wake WakeFunc) (*SyncMon, error) {
 	if cfg.Sets < 0 || cfg.Ways <= 0 || cfg.WaitListSize < 0 || cfg.LogCapacity <= 0 {
-		panic(fmt.Sprintf("syncmon: bad config %+v", cfg))
+		return nil, fmt.Errorf("syncmon: bad config %+v", cfg)
 	}
 	s := &SyncMon{
 		cfg:       cfg,
@@ -222,7 +222,73 @@ func New(cfg Config, m *gpu.Machine, selector ResumeSelector, wake WakeFunc) *Sy
 		byAddr:    make(map[mem.Addr][]*condEntry),
 	}
 	m.OnAtomicApply(s.observe)
-	return s
+	return s, nil
+}
+
+// Degrade shrinks the condition cache to newWays ways per set and the
+// waiting-WG list to newWaitList entries, modelling a mid-run capacity
+// fault (fault injection). Entries and waiters beyond the new capacity are
+// evicted youngest-first and spilled to the Monitor Log; when even the log
+// is full, the displaced waiter is woken unchecked (met=false, a Mesa-style
+// hint) so nobody is stranded — its retry re-registers or falls back to its
+// policy timeout. Growing capacity is ignored: faults only take away.
+func (s *SyncMon) Degrade(newWays, newWaitList int) {
+	if newWays < 1 {
+		newWays = 1
+	}
+	if newWaitList < 0 {
+		newWaitList = 0
+	}
+	type displaced struct {
+		wt   waiter
+		addr mem.Addr
+		want int64
+		cmp  gpu.Cmp
+	}
+	var out []displaced
+	if newWays < s.cfg.Ways {
+		s.cfg.Ways = newWays
+		for si := range s.sets {
+			for len(s.sets[si]) > newWays {
+				// Evict the youngest entry of the overfull set (the last way).
+				e := s.sets[si][len(s.sets[si])-1]
+				for _, wt := range e.waiters {
+					out = append(out, displaced{wt, e.addr, e.want, e.cmp})
+				}
+				s.waiters -= len(e.waiters)
+				e.waiters = nil
+				s.dropEntry(e)
+			}
+		}
+	}
+	if newWaitList < s.cfg.WaitListSize {
+		s.cfg.WaitListSize = newWaitList
+		// Shed the youngest waiters (walking sets in order, entries back to
+		// front) until the list fits.
+		for si := range s.sets {
+			if s.waiters <= newWaitList {
+				break
+			}
+			set := s.sets[si]
+			for i := len(set) - 1; i >= 0 && s.waiters > newWaitList; i-- {
+				e := set[i]
+				for len(e.waiters) > 0 && s.waiters > newWaitList {
+					wt := e.waiters[len(e.waiters)-1]
+					e.waiters = e.waiters[:len(e.waiters)-1]
+					s.waiters--
+					out = append(out, displaced{wt, e.addr, e.want, e.cmp})
+				}
+				if len(e.waiters) == 0 {
+					s.dropEntry(e)
+				}
+			}
+		}
+	}
+	for _, d := range out {
+		if s.spill(d.wt.wg, d.addr, d.want, d.cmp) == Rejected {
+			s.wake(d.wt.wg, d.addr, d.want, false)
+		}
+	}
 }
 
 // Log exposes the Monitor Log for the Command Processor to drain.

@@ -45,9 +45,12 @@ func newHarness(t *testing.T, cfg Config) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{m: m, sel: &fakeSelector{}}
-	h.sm = New(cfg, m, h.sel, func(wg gpu.WGID, addr mem.Addr, want int64, met bool) {
+	h.sm, err = New(cfg, m, h.sel, func(wg gpu.WGID, addr mem.Addr, want int64, met bool) {
 		h.wakes = append(h.wakes, wakeRec{wg, addr, want, met})
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return h
 }
 
@@ -60,8 +63,8 @@ func (h *harness) update(a mem.Addr, op gpu.AtomicOp, val int64) {
 
 type nopPolicy struct{}
 
-func (nopPolicy) Name() string        { return "nop" }
-func (nopPolicy) Attach(*gpu.Machine) {}
+func (nopPolicy) Name() string              { return "nop" }
+func (nopPolicy) Attach(*gpu.Machine) error { return nil }
 func (nopPolicy) Wait(*gpu.WG, gpu.Var, gpu.AtomicOp, int64, int64, int64, gpu.Cmp, gpu.WaitHint, func(int64)) {
 }
 
