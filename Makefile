@@ -21,20 +21,33 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# fuzz runs a short native-fuzzing smoke over the fault scheduler: random
-# schedules through a small oversubscribed sim with the IFP invariant
-# enforced on every outcome.
+# fuzz runs short native-fuzzing smokes: random fault schedules through a
+# small oversubscribed sim with the IFP invariant enforced on every outcome,
+# and random schedule/run interleavings through the event-engine calendar
+# checked against a reference heap oracle.
 fuzz:
 	$(GO) test ./internal/fault -fuzz FuzzSchedule -fuzztime 5s -run '^$$'
+	$(GO) test ./internal/event -fuzz FuzzCalendar -fuzztime 5s -run '^$$'
+
+# golden regenerates the quick experiment suite and fails if any
+# deterministic output (simulated cycles, runs, rendered tables) drifts
+# from the committed golden record. After an intentional model change:
+# `go run ./cmd/awgexp -quick -golden GOLDEN_quick.json -update-golden`.
+golden:
+	$(GO) run ./cmd/awgexp -quick -golden GOLDEN_quick.json > /dev/null
 
 # ci is the full gate: formatting, static checks, the race-instrumented
-# test suite (which exercises the parallel experiment pool), and the
-# fault-scheduler fuzz smoke.
-ci: fmt vet race fuzz
+# test suite (which exercises the parallel experiment pool), the fuzz
+# smokes, and the golden-record drift check.
+ci: fmt vet race fuzz golden
 
-# bench regenerates the perf baseline the repository tracks.
+# bench appends a perf-trajectory entry to BENCH_results.json and runs the
+# hot-path benchmarks: the event-engine calendar microbenchmarks and the
+# fig15-shaped (oversubscribed) and fault-injection experiment workloads.
 bench:
 	$(GO) run ./cmd/awgexp -quick -json BENCH_results.json > /dev/null
+	$(GO) test ./internal/event -bench 'BenchmarkEngine' -benchmem -run '^$$'
+	$(GO) test . -bench 'BenchmarkFig15Oversubscribed|BenchmarkFaults' -benchmem -run '^$$'
 
 # exp/quick print the full and reduced-scale experiment suites.
 exp:

@@ -94,3 +94,4 @@ func BenchmarkSingleRunTBLGAWG(b *testing.B)      { benchmarkSingleRun(b, "TB_LG
 func BenchmarkAblation(b *testing.B)  { runExperiment(b, "ablation") }
 func BenchmarkPriority(b *testing.B)  { runExperiment(b, "priority") }
 func BenchmarkOversweep(b *testing.B) { runExperiment(b, "oversweep") }
+func BenchmarkFaults(b *testing.B)    { runExperiment(b, "faults") }

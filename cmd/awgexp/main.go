@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	awgexp                # everything, full scale (minutes)
-//	awgexp -quick         # everything, reduced scale (seconds)
-//	awgexp -exp fig14     # one experiment
-//	awgexp -json out.json # also write a bench trajectory (wall time, cycles)
-//	awgexp -workers 4     # cap the simulation worker pool
+//	awgexp                       # everything, full scale (minutes)
+//	awgexp -quick                # everything, reduced scale (seconds)
+//	awgexp -exp fig14            # one experiment
+//	awgexp -json out.json        # append a bench trajectory entry (wall time, cycles)
+//	awgexp -workers 4            # cap the simulation worker pool
+//	awgexp -golden GOLDEN.json   # fail if outputs drift from the golden record
+//	awgexp -golden GOLDEN.json -update-golden   # rewrite the golden record
+//	awgexp -cpuprofile cpu.out   # profile the suite (see README, Profiling)
 //	awgexp -list
 //
 // A failing experiment no longer aborts the suite: its error is reported,
@@ -16,11 +19,13 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"awgsim/internal/experiments"
@@ -37,9 +42,11 @@ type benchEntry struct {
 	Error     string  `json:"error,omitempty"`
 }
 
-// benchReport is the -json file: a perf baseline of the experiment suite,
-// comparable across commits when quick/workers match.
+// benchReport is one -json trajectory entry: a perf snapshot of the
+// experiment suite, comparable across commits when quick/workers match.
+// The trajectory file holds an array of these, one appended per run.
 type benchReport struct {
+	Generated   string       `json:"generated"`
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	Workers     int          `json:"workers"` // 0 = GOMAXPROCS
 	Quick       bool         `json:"quick"`
@@ -49,13 +56,32 @@ type benchReport struct {
 	TotalRuns   uint64       `json:"total_runs"`
 }
 
+// goldenEntry pins one experiment's deterministic outputs: the simulated
+// cycle/run totals and a hash of the rendered tables (wall time excluded).
+// Any engine or model change that alters simulated behavior shows up here.
+type goldenEntry struct {
+	ID        string `json:"id"`
+	SimCycles uint64 `json:"sim_cycles"`
+	SimRuns   uint64 `json:"sim_runs"`
+	OutputSHA string `json:"output_sha256"`
+}
+
+type goldenFile struct {
+	Quick       bool          `json:"quick"`
+	Experiments []goldenEntry `json:"experiments"`
+}
+
 func main() {
 	var (
-		exp      = flag.String("exp", "", "single experiment id (table1, table2, fig5..fig15); empty = all")
-		quick    = flag.Bool("quick", false, "reduced launches: shapes only, runs in seconds")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		jsonPath = flag.String("json", "", "write a bench-trajectory JSON (per-experiment wall time and simulated cycles) to this file")
-		workers  = flag.Int("workers", 0, "simulation worker pool size; 0 = GOMAXPROCS")
+		exp        = flag.String("exp", "", "single experiment id (table1, table2, fig5..fig15); empty = all")
+		quick      = flag.Bool("quick", false, "reduced launches: shapes only, runs in seconds")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath   = flag.String("json", "", "append a bench-trajectory entry (per-experiment wall time and simulated cycles) to this JSON file")
+		workers    = flag.Int("workers", 0, "simulation worker pool size; 0 = GOMAXPROCS")
+		golden     = flag.String("golden", "", "golden-record JSON: compare deterministic outputs against it and exit non-zero on drift")
+		updGolden  = flag.Bool("update-golden", false, "rewrite the -golden file from this run instead of comparing")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memprofile = flag.String("memprofile", "", "write a heap allocation profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -82,11 +108,25 @@ func main() {
 		run = []experiments.Experiment{e}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "awgexp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "awgexp:", err)
+			os.Exit(1)
+		}
+	}
+
 	report := benchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    *workers,
 		Quick:      *quick,
 	}
+	record := goldenFile{Quick: *quick}
 	var failures []string
 	suiteStart := time.Now()
 	for _, e := range run {
@@ -106,18 +146,25 @@ func main() {
 			failures = append(failures, fmt.Sprintf("%s: %v", e.ID, err))
 			fmt.Fprintf(os.Stderr, "awgexp: %s: %v\n", e.ID, err)
 		} else {
-			fmt.Println(tab.String())
+			out := tab.String() + "\n"
 			if e.ID == "fig6" {
 				if tl, tlErr := experiments.Fig6Timelines(opts); tlErr == nil {
-					fmt.Println(tl)
+					out += tl + "\n"
 				}
 			}
 			if e.ID == "faults" {
 				if ex, exErr := experiments.FaultsWorkedExample(opts); exErr == nil {
-					fmt.Println(ex)
+					out += ex + "\n"
 				}
 			}
+			fmt.Print(out)
 			fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, entry.WallSecs)
+			record.Experiments = append(record.Experiments, goldenEntry{
+				ID:        e.ID,
+				SimCycles: entry.SimCycles,
+				SimRuns:   entry.SimRuns,
+				OutputSHA: fmt.Sprintf("%x", sha256.Sum256([]byte(out))),
+			})
 		}
 		report.Experiments = append(report.Experiments, entry)
 	}
@@ -127,12 +174,31 @@ func main() {
 	report.TotalSecs = time.Since(suiteStart).Seconds()
 	report.TotalCycles, report.TotalRuns = sim.Totals()
 
-	if *jsonPath != "" {
-		if err := writeReport(*jsonPath, report); err != nil {
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "awgexp: CPU profile written to %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "awgexp:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "awgexp: bench trajectory written to %s\n", *jsonPath)
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "awgexp:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "awgexp: heap profile written to %s\n", *memprofile)
+	}
+
+	if *jsonPath != "" {
+		if err := appendReport(*jsonPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, "awgexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "awgexp: bench trajectory entry appended to %s\n", *jsonPath)
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "awgexp: %d experiment(s) failed:\n", len(failures))
@@ -141,12 +207,94 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	if *golden != "" {
+		if *updGolden {
+			if err := writeJSON(*golden, record); err != nil {
+				fmt.Fprintln(os.Stderr, "awgexp:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "awgexp: golden record written to %s\n", *golden)
+		} else if drifts := compareGolden(*golden, record); len(drifts) > 0 {
+			fmt.Fprintf(os.Stderr, "awgexp: outputs drifted from golden record %s:\n", *golden)
+			for _, d := range drifts {
+				fmt.Fprintln(os.Stderr, "  "+d)
+			}
+			fmt.Fprintln(os.Stderr, "awgexp: if the change is intentional, regenerate with -update-golden")
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "awgexp: outputs match golden record %s\n", *golden)
+		}
+	}
 }
 
-func writeReport(path string, r benchReport) error {
-	data, err := json.MarshalIndent(r, "", "  ")
+// appendReport appends r to the trajectory array at path, converting a
+// legacy single-object file into an array on first append.
+func appendReport(path string, r benchReport) error {
+	var traj []benchReport
+	if data, err := os.ReadFile(path); err == nil {
+		if jsonErr := json.Unmarshal(data, &traj); jsonErr != nil {
+			var single benchReport
+			if jsonErr2 := json.Unmarshal(data, &single); jsonErr2 != nil {
+				return fmt.Errorf("%s is neither a trajectory array nor a report: %v", path, jsonErr)
+			}
+			traj = []benchReport{single}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	traj = append(traj, r)
+	return writeJSON(path, traj)
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareGolden diffs this run's deterministic outputs against the golden
+// record, returning human-readable drift descriptions (empty = match).
+func compareGolden(path string, got goldenFile) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var drifts []string
+	if want.Quick != got.Quick {
+		drifts = append(drifts, fmt.Sprintf("quick mode mismatch: golden %v, run %v", want.Quick, got.Quick))
+	}
+	wantByID := make(map[string]goldenEntry, len(want.Experiments))
+	for _, e := range want.Experiments {
+		wantByID[e.ID] = e
+	}
+	seen := make(map[string]bool, len(got.Experiments))
+	for _, g := range got.Experiments {
+		seen[g.ID] = true
+		w, ok := wantByID[g.ID]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("%s: not in golden record", g.ID))
+			continue
+		}
+		if w.SimCycles != g.SimCycles {
+			drifts = append(drifts, fmt.Sprintf("%s: sim_cycles %d -> %d", g.ID, w.SimCycles, g.SimCycles))
+		}
+		if w.SimRuns != g.SimRuns {
+			drifts = append(drifts, fmt.Sprintf("%s: sim_runs %d -> %d", g.ID, w.SimRuns, g.SimRuns))
+		}
+		if w.OutputSHA != g.OutputSHA {
+			drifts = append(drifts, fmt.Sprintf("%s: rendered output changed (sha256 %.12s -> %.12s)", g.ID, w.OutputSHA, g.OutputSHA))
+		}
+	}
+	for _, w := range want.Experiments {
+		if !seen[w.ID] {
+			drifts = append(drifts, fmt.Sprintf("%s: in golden record but did not run", w.ID))
+		}
+	}
+	return drifts
 }

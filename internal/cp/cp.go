@@ -73,6 +73,9 @@ type Processor struct {
 	started bool
 	stopped func() bool
 	jitter  func(base event.Cycle) event.Cycle
+
+	drainFn, checkFn func()    // hoisted loop continuations (fire every pass)
+	scratch          []condKey // checkPass walk snapshot, reused across passes
 }
 
 // New builds a processor draining log on machine m. wake delivers met
@@ -119,8 +122,10 @@ func (p *Processor) Start(keepRunning func() bool) {
 	}
 	p.started = true
 	p.stopped = func() bool { return keepRunning != nil && !keepRunning() }
-	p.m.Engine().After(p.cadence(p.cfg.DrainInterval), p.drainPass)
-	p.m.Engine().After(p.cadence(p.cfg.CheckInterval), p.checkPass)
+	p.drainFn = p.drainPass
+	p.checkFn = p.checkPass
+	p.m.Engine().After(p.cadence(p.cfg.DrainInterval), p.drainFn)
+	p.m.Engine().After(p.cadence(p.cfg.CheckInterval), p.checkFn)
 }
 
 // TableSize reports current spilled conditions tracked.
@@ -130,8 +135,14 @@ func (p *Processor) TableSize() int { return p.inTable }
 // Figure 13.
 func (p *Processor) MaxTableSize() int { return p.maxTab }
 
-// Unregister tombstones a waiter (its policy timeout fired) so a later
-// drain or check does not wake it spuriously.
+// Unregister withdraws a waiter (its policy timeout fired) so a later
+// drain or check does not wake it spuriously. The waiter is in exactly one
+// of three places: the table (drained), the Monitor Log ring (spilled, not
+// yet drained), or a drain batch in flight. Only the last needs a deferred
+// tombstone — recording one when the ring removal already succeeded leaves
+// it stale, and it would silently swallow the WG's *next* spill on the same
+// condition (a lost wakeup: the waiter never reaches the table and no check
+// pass ever resumes it).
 func (p *Processor) Unregister(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp) {
 	k := condKey{v.Addr.WordAligned(), want, cmp}
 	if ws, ok := p.table[k]; ok {
@@ -150,9 +161,13 @@ func (p *Processor) Unregister(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp) 
 			}
 		}
 	}
-	// Not drained yet: remember the tombstone for drain time. (The log's
-	// own Remove handles entries still physically in the ring; this covers
-	// the window where the log was already popped into a drain batch.)
+	if p.log.Remove(wg, k.addr, k.want) > 0 {
+		// Still physically in the ring; the tombstone there is consumed when
+		// a drain pops past it, so no drain-time state is needed.
+		return
+	}
+	// Popped into a drain batch but not yet in the table: remember the
+	// tombstone for drain time.
 	if p.removed[k] == nil {
 		p.removed[k] = make(map[gpu.WGID]bool)
 	}
@@ -170,8 +185,11 @@ func (p *Processor) drainPass() {
 			break
 		}
 		k := condKey{e.Addr, e.Want, e.Cmp}
-		if p.removed[k][e.WG] {
-			delete(p.removed[k], e.WG)
+		if wgs := p.removed[k]; wgs[e.WG] {
+			delete(wgs, e.WG)
+			if len(wgs) == 0 {
+				delete(p.removed, k)
+			}
 			continue
 		}
 		if len(p.table[k]) == 0 {
@@ -185,7 +203,7 @@ func (p *Processor) drainPass() {
 		}
 		p.noteHighWater()
 	}
-	p.m.Engine().After(p.cadence(p.cfg.DrainInterval), p.drainPass)
+	p.m.Engine().After(p.cadence(p.cfg.DrainInterval), p.drainFn)
 }
 
 // dropCond removes a condition from the table, maintaining the address
@@ -229,27 +247,47 @@ func (p *Processor) checkPass() {
 	}
 	// Walk in a deterministic order: drain arrival (FIFO) or rotated
 	// round-robin. Map iteration order would break replay determinism.
+	//
+	// Snapshot the walk before issuing anything: a check result runs
+	// dropCond, which splices p.order, so indexing the live slice with the
+	// pass's stale length would skip or repeat conditions once the first
+	// met condition of the pass is dropped.
 	n := len(p.order)
 	start := 0
 	if p.cfg.Order == OrderRoundRobin && n > 0 {
 		start = p.rotate % n
 		p.rotate++
 	}
+	keys := p.scratch[:0]
 	for i := 0; i < n; i++ {
-		k := p.order[(start+i)%n]
-		p.m.IssueAtomic(nil, gpu.GlobalVar(k.addr), gpu.OpLoad, 0, 0, nil, func(v int64) {
-			if !k.cmp.Test(v, k.want) {
-				return
-			}
-			ws, ok := p.table[k]
-			if !ok {
-				return
-			}
-			p.dropCond(k)
-			for _, wg := range ws {
-				p.wake(wg, k.addr, k.want, true)
-			}
-		})
+		keys = append(keys, p.order[(start+i)%n])
 	}
-	p.m.Engine().After(p.cadence(p.cfg.CheckInterval), p.checkPass)
+	p.scratch = keys
+	for _, k := range keys {
+		t := p.m.Engine().NewTask(runCheckResult)
+		t.Env[0] = p
+		t.I[0] = int64(k.addr)
+		t.I[1] = k.want
+		t.I[2] = int64(k.cmp)
+		p.m.IssueAtomicTask(nil, gpu.GlobalVar(k.addr), gpu.OpLoad, 0, 0, t)
+	}
+	p.m.Engine().After(p.cadence(p.cfg.CheckInterval), p.checkFn)
+}
+
+// runCheckResult receives one condition check's L2 read (the value in
+// I[gpu.AtomicRet]) and wakes the condition's waiters if it now holds.
+func runCheckResult(t *event.Task) {
+	p := t.Env[0].(*Processor)
+	k := condKey{mem.Addr(t.I[0]), t.I[1], gpu.Cmp(t.I[2])}
+	if !k.cmp.Test(t.I[gpu.AtomicRet], k.want) {
+		return
+	}
+	ws, ok := p.table[k]
+	if !ok {
+		return
+	}
+	p.dropCond(k)
+	for _, wg := range ws {
+		p.wake(wg, k.addr, k.want, true)
+	}
 }

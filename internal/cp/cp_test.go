@@ -137,6 +137,53 @@ func TestUnregisterBeforeDrainTombstones(t *testing.T) {
 	}
 }
 
+func TestUnregisterConsumesRingEntry(t *testing.T) {
+	// The lost-wakeup regression: a waiter spills, its policy timeout fires
+	// before any drain, and the WG later re-registers and re-spills the
+	// same condition. The withdrawal must consume the ring entry directly —
+	// recording a deferred tombstone instead leaves it stale, and the
+	// re-spilled entry is silently discarded at drain time (the waiter then
+	// never reaches the table and no check pass ever wakes it).
+	h := newHarness(t, DefaultConfig())
+	h.log.Push(syncmon.LogEntry{Addr: 0xb00, Want: 1, Cmp: gpu.CmpEQ, WG: 7})
+	h.p.Unregister(7, gpu.GlobalVar(0xb00), 1, gpu.CmpEQ)
+	if h.log.Len() != 0 {
+		t.Fatalf("ring entry not consumed by Unregister (log len %d)", h.log.Len())
+	}
+	// The WG retries, fails again, and spills the same condition again.
+	h.log.Push(syncmon.LogEntry{Addr: 0xb00, Want: 1, Cmp: gpu.CmpEQ, WG: 7})
+	h.runFor(10_000) // drain
+	if h.p.TableSize() != 1 {
+		t.Fatal("re-spilled waiter swallowed by a stale tombstone")
+	}
+	h.m.Mem().Write(0xb00, 1)
+	h.runFor(20_000)
+	if len(h.wakes) != 1 || h.wakes[0].wg != 7 {
+		t.Fatalf("wakes = %+v, want one wake of WG 7", h.wakes)
+	}
+}
+
+func TestTwoSpilledConditionsMetSamePass(t *testing.T) {
+	// Both conditions hold when a check pass starts: the first wake drops
+	// its condition from p.order mid-pass, which must not make the walk
+	// skip or repeat the second (the pass snapshots its walk first).
+	h := newHarness(t, DefaultConfig())
+	h.log.Push(syncmon.LogEntry{Addr: 0xc00, Want: 1, Cmp: gpu.CmpEQ, WG: 1})
+	h.log.Push(syncmon.LogEntry{Addr: 0xc40, Want: 2, Cmp: gpu.CmpEQ, WG: 2})
+	h.m.Mem().Write(0xc00, 1)
+	h.m.Mem().Write(0xc40, 2)
+	h.runFor(20_000)
+	if len(h.wakes) != 2 {
+		t.Fatalf("woke %d waiters, want 2: %+v", len(h.wakes), h.wakes)
+	}
+	if h.wakes[0].wg != 1 || h.wakes[1].wg != 2 {
+		t.Fatalf("wake order %+v, want WG 1 then WG 2 (drain arrival)", h.wakes)
+	}
+	if h.p.TableSize() != 0 {
+		t.Fatalf("table size %d after both wakes, want 0", h.p.TableSize())
+	}
+}
+
 func TestHighWaterMarks(t *testing.T) {
 	h := newHarness(t, DefaultConfig())
 	for i := 0; i < 4; i++ {

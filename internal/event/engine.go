@@ -2,17 +2,37 @@
 // drives the GPU timing model.
 //
 // All simulated hardware (compute units, cache banks, the SyncMon, the
-// command processor) advances by scheduling closures at absolute cycle
+// command processor) advances by scheduling work at absolute cycle
 // timestamps. Events that share a timestamp fire in scheduling order, so a
 // given (configuration, seed) pair always produces an identical execution —
 // the property every experiment harness and regression test in this
 // repository relies on.
+//
+// # Calendar structure
+//
+// The calendar is a hierarchical timer wheel backed by a heap, sized for
+// this model's event mix: almost every event is an After(d) with small d
+// (CU issue chunks, L2/bank service, response legs), a thin band sits at
+// the firmware cadences (thousands of cycles), and a handful of watchdog
+// and harness events land far out.
+//
+//   - near wheel: 256 one-cycle buckets covering [nearBase, nearBase+256)
+//   - far wheel: 256 buckets of 256 cycles each, covering the next ~65k
+//     cycles; a far bucket cascades into the near wheel when the near
+//     window advances onto it
+//   - overflow heap: a hand-specialized 4-ary min-heap ordered by
+//     (at, seq) for events beyond the far horizon, and for events
+//     scheduled below nearBase (possible after a cascade ran ahead of
+//     the clock)
+//
+// nearBase stays 256-aligned and only advances when the near window is
+// empty, so every pour moves a far bucket's entries — already in seq
+// order — into near buckets without any sorting. Firing compares the
+// wheel's head against the heap's top by (at, seq), which preserves the
+// global FIFO-within-a-timestamp guarantee across all three structures.
 package event
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Cycle is an absolute simulated-clock timestamp. The baseline GPU model
 // runs at 2 GHz, so one Cycle is 0.5 ns of simulated time.
@@ -22,34 +42,37 @@ type Cycle uint64
 // this package is asked to run.
 const Never Cycle = 1<<63 - 1
 
+const (
+	nearBits = 8
+	nearSize = 1 << nearBits // one-cycle buckets in the near wheel
+	nearMask = nearSize - 1
+	farSize  = 256 // nearSize-cycle buckets in the far wheel
+	farMask  = farSize - 1
+)
+
+// scheduled is one calendar entry: either a plain closure (fn) or a pooled
+// Task, never both.
 type scheduled struct {
-	at  Cycle
-	seq uint64
-	fn  func()
+	at   Cycle
+	seq  uint64
+	fn   func()
+	task *Task
 }
 
-type eventHeap []scheduled
+// bucket is one wheel slot. pos is the consumption cursor; entries behind
+// it have fired. The slice is reset lazily on the next append or pour after
+// it fully drains, so steady-state scheduling reuses its backing array.
+type bucket struct {
+	ev  []scheduled
+	pos int
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (b *bucket) add(ev scheduled) {
+	if b.pos > 0 && b.pos == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.pos = 0
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(scheduled)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = scheduled{}
-	*h = old[:n-1]
-	return ev
+	b.ev = append(b.ev, ev)
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
@@ -57,9 +80,19 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now      Cycle
 	seq      uint64
-	events   eventHeap
 	executed uint64
 	stopped  bool
+
+	near     [nearSize]bucket
+	far      [farSize]bucket
+	nearBase Cycle // start of the near window, always nearSize-aligned
+	nearScan Cycle // lower bound on the earliest unconsumed near entry
+	nearCnt  int   // unconsumed entries in the near wheel
+	farCnt   int   // entries in the far wheel
+
+	heap []scheduled // 4-ary min-heap on (at, seq): overflow + below-base
+
+	free *Task // task free list
 
 	// budget, when non-zero, caps the total events the engine will ever
 	// execute. A zero-delay event loop never advances the clock, so a
@@ -82,22 +115,117 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports how many events are waiting on the calendar.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.nearCnt + e.farCnt + len(e.heap) }
 
 // At schedules fn to run at absolute cycle at. Scheduling in the past is a
 // programming error in the timing model, so it panics rather than silently
 // reordering time.
 func (e *Engine) At(at Cycle, fn func()) {
-	if at < e.now {
-		panic(fmt.Sprintf("event: scheduling at cycle %d before now %d", at, e.now))
-	}
-	e.seq++
-	heap.Push(&e.events, scheduled{at: at, seq: e.seq, fn: fn})
+	e.schedule(at, scheduled{at: at, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Cycle, fn func()) {
-	e.At(e.now+d, fn)
+	e.schedule(e.now+d, scheduled{at: e.now + d, fn: fn})
+}
+
+func (e *Engine) schedule(at Cycle, ev scheduled) {
+	if at < e.now {
+		panic(fmt.Sprintf("event: scheduling at cycle %d before now %d", at, e.now))
+	}
+	e.seq++
+	ev.seq = e.seq
+	if at >= e.nearBase {
+		if at-e.nearBase < nearSize {
+			e.near[at&nearMask].add(ev)
+			e.nearCnt++
+			if at < e.nearScan {
+				e.nearScan = at
+			}
+			return
+		}
+		if (at>>nearBits)-(e.nearBase>>nearBits) <= farSize {
+			e.far[(at>>nearBits)&farMask].add(ev)
+			e.farCnt++
+			return
+		}
+	}
+	e.heapPush(ev)
+}
+
+// wheelHead returns the bucket holding the earliest unconsumed wheel entry,
+// cascading far buckets into the near window as needed, or nil when the
+// wheel is empty.
+func (e *Engine) wheelHead() *bucket {
+	for {
+		if e.nearCnt > 0 {
+			limit := e.nearBase + nearSize
+			for t := e.nearScan; t < limit; t++ {
+				b := &e.near[t&nearMask]
+				if b.pos < len(b.ev) {
+					e.nearScan = t
+					return b
+				}
+			}
+			panic("event: near wheel count/content mismatch")
+		}
+		if e.farCnt == 0 {
+			return nil
+		}
+		// The near window drained: advance it one far bucket at a time,
+		// pouring that bucket's entries (already in seq order) into their
+		// one-cycle slots.
+		e.nearBase += nearSize
+		e.nearScan = e.nearBase
+		fb := &e.far[(e.nearBase>>nearBits)&farMask]
+		if n := len(fb.ev); n > 0 {
+			for _, ev := range fb.ev {
+				e.near[ev.at&nearMask].add(ev)
+			}
+			fb.ev = fb.ev[:0]
+			e.farCnt -= n
+			e.nearCnt += n
+		}
+	}
+}
+
+// peek locates the earliest pending event across the wheel and the heap
+// without consuming it. The returned bucket is nil when the winner sits on
+// the heap; ok is false when the whole calendar is empty.
+func (e *Engine) peek() (b *bucket, ok bool) {
+	wb := e.wheelHead()
+	if wb == nil {
+		return nil, len(e.heap) > 0
+	}
+	if len(e.heap) > 0 {
+		hv, wv := &e.heap[0], &wb.ev[wb.pos]
+		if hv.at < wv.at || (hv.at == wv.at && hv.seq < wv.seq) {
+			return nil, true
+		}
+	}
+	return wb, true
+}
+
+// fire consumes and runs the event peek located.
+func (e *Engine) fire(b *bucket) {
+	var ev scheduled
+	if b == nil {
+		ev = e.heapPop()
+	} else {
+		ev = b.ev[b.pos]
+		b.ev[b.pos] = scheduled{}
+		b.pos++
+		e.nearCnt--
+	}
+	e.now = ev.at
+	e.executed++
+	if ev.task != nil {
+		t := ev.task
+		t.fn(t)
+		e.releaseTask(t)
+		return
+	}
+	ev.fn()
 }
 
 // SetEventBudget caps the total number of events the engine will execute
@@ -121,13 +249,11 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // Step fires the single earliest event. It returns false when the calendar
 // is empty.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	b, ok := e.peek()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(scheduled)
-	e.now = ev.at
-	e.executed++
-	ev.fn()
+	e.fire(b)
 	return true
 }
 
@@ -137,15 +263,25 @@ func (e *Engine) Step() bool {
 func (e *Engine) RunUntil(limit Cycle) uint64 {
 	e.stopped = false
 	start := e.executed
-	for !e.stopped && len(e.events) > 0 {
-		if e.events[0].at > limit {
+	for !e.stopped {
+		b, ok := e.peek()
+		if !ok {
+			break
+		}
+		var at Cycle
+		if b == nil {
+			at = e.heap[0].at
+		} else {
+			at = b.ev[b.pos].at
+		}
+		if at > limit {
 			break
 		}
 		if e.budget != 0 && e.executed >= e.budget {
 			e.budgetHit = true
 			break
 		}
-		e.Step()
+		e.fire(b)
 	}
 	return e.executed - start
 }
@@ -158,8 +294,68 @@ func (e *Engine) Run() uint64 {
 // NextEventAt reports the timestamp of the earliest pending event, or Never
 // when the calendar is empty.
 func (e *Engine) NextEventAt() Cycle {
-	if len(e.events) == 0 {
+	b, ok := e.peek()
+	if !ok {
 		return Never
 	}
-	return e.events[0].at
+	if b == nil {
+		return e.heap[0].at
+	}
+	return b.ev[b.pos].at
+}
+
+// --- 4-ary min-heap on (at, seq) ---
+
+func evLess(a, b *scheduled) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev scheduled) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !evLess(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+func (e *Engine) heapPop() scheduled {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = scheduled{}
+	h = h[:last]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= len(h) {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for j := c + 1; j < end; j++ {
+			if evLess(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !evLess(&h[m], &h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.heap = h
+	return top
 }

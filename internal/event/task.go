@@ -1,0 +1,57 @@
+package event
+
+// TaskFunc is the callee of a pooled Task. It receives the task so it can
+// unpack its argument slots.
+type TaskFunc func(*Task)
+
+// Task is a pooled calendar entry: a callee plus inline argument slots,
+// replacing a fresh closure on the engine's highest-rate paths (CU issue,
+// bank service, wake delivery). Env holds pointer-shaped arguments
+// (pointers, funcs — storing those in an `any` does not allocate) and I
+// holds integer arguments.
+//
+// Lifecycle: obtain a task with Engine.NewTask, fill the slots, and hand it
+// to AtTask/AfterTask. The engine owns it from that point: after the callee
+// returns, the task is zeroed and recycled onto the engine's free list, so
+// the callee must not retain it. A task may be mutated up until it fires —
+// the atomic pipeline uses this to deposit a bank result into an
+// already-scheduled response task.
+type Task struct {
+	fn   TaskFunc
+	next *Task
+
+	Env [4]any
+	I   [6]int64
+}
+
+// NewTask returns a zeroed task from the engine's free list (or a fresh one)
+// with its callee set.
+func (e *Engine) NewTask(fn TaskFunc) *Task {
+	t := e.free
+	if t == nil {
+		t = &Task{}
+	} else {
+		e.free = t.next
+		t.next = nil
+	}
+	t.fn = fn
+	return t
+}
+
+// AtTask schedules t to fire at absolute cycle at. Ordering follows the
+// same (timestamp, scheduling order) rule as At.
+func (e *Engine) AtTask(at Cycle, t *Task) {
+	e.schedule(at, scheduled{at: at, task: t})
+}
+
+// AfterTask schedules t to fire d cycles from now.
+func (e *Engine) AfterTask(d Cycle, t *Task) {
+	e.schedule(e.now+d, scheduled{at: e.now + d, task: t})
+}
+
+// releaseTask zeroes a fired task (dropping its Env references for the GC)
+// and returns it to the free list.
+func (e *Engine) releaseTask(t *Task) {
+	*t = Task{next: e.free}
+	e.free = t
+}

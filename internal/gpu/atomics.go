@@ -45,6 +45,10 @@ func (p *atomicUnit) subscribe(f AtomicObserver) {
 	p.observers = append(p.observers, f)
 }
 
+// AtomicRet is the resp-task slot the atomic pipeline deposits the op's
+// returned value into before the response task fires (see IssueAtomicTask).
+const AtomicRet = 5
+
 // issue performs an atomic for w (nil for agent-issued operations such as
 // CP condition checks). The op's value effect and all monitor observations
 // happen at bank-service time; resp, if non-nil, runs at response time with
@@ -52,11 +56,35 @@ func (p *atomicUnit) subscribe(f AtomicObserver) {
 // after observers — this is where waiting atomics register their condition
 // race-free.
 func (p *atomicUnit) issue(w *WG, v Var, op AtomicOp, a, b int64, atBank func(old, new int64), resp func(ret int64)) {
-	m := p.m
 	if w != nil && !w.Resident() {
 		w.Park(func() { p.issue(w, v, op, a, b, atBank, resp) })
 		return
 	}
+	var rt *event.Task
+	if resp != nil {
+		rt = p.m.eng.NewTask(runAtomicRespFunc)
+		rt.Env[0] = resp
+	}
+	p.start(w, v, op, a, b, atBank, rt)
+}
+
+// issueTask performs an atomic whose response continuation is a pooled
+// task: resp fires at response time with the op's returned value already
+// deposited in resp.I[AtomicRet].
+func (p *atomicUnit) issueTask(w *WG, v Var, op AtomicOp, a, b int64, resp *event.Task) {
+	if w != nil && !w.Resident() {
+		w.Park(func() { p.issueTask(w, v, op, a, b, resp) })
+		return
+	}
+	p.start(w, v, op, a, b, nil, resp)
+}
+
+// start schedules the apply and response legs for a resident (or agent)
+// atomic. The apply leg is scheduled before the response leg so their seq
+// order — and therefore every same-timestamp interleaving — matches event
+// issue order.
+func (p *atomicUnit) start(w *WG, v Var, op AtomicOp, a, b int64, atBank func(old, new int64), resp *event.Task) {
+	m := p.m
 	m.Trace(w, trace.Attempt)
 	var applyAt, respAt event.Cycle
 	if v.Scope == Local && w != nil && int(w.cu) == v.Group {
@@ -64,27 +92,57 @@ func (p *atomicUnit) issue(w *WG, v Var, op AtomicOp, a, b int64, atBank func(ol
 	} else {
 		applyAt, respAt = m.mem.AtomicTiming(v.Addr)
 	}
-	var retVal int64
-	m.eng.At(applyAt, func() {
-		old := m.mem.Read(v.Addr)
-		newVal, ret := op.Apply(old, a, b)
-		retVal = ret
-		if newVal != old {
-			m.mem.Write(v.Addr, newVal)
-		}
-		if op.IsWrite() {
-			p.observeUpdate(v.Addr)
-		}
-		for _, obs := range p.observers {
-			obs(w, v, op, old, newVal)
-		}
-		if atBank != nil {
-			atBank(old, newVal)
-		}
-	})
+	t := m.eng.NewTask(runAtomicApply)
+	t.Env[0] = p
+	t.Env[1] = w
+	t.Env[2] = atBank
+	t.Env[3] = resp
+	t.I[0] = int64(v.Addr)
+	t.I[1] = int64(v.Scope)
+	t.I[2] = int64(v.Group)
+	t.I[3] = a
+	t.I[4] = b
+	t.I[5] = int64(op)
+	m.eng.AtTask(applyAt, t)
 	if resp != nil {
-		m.eng.At(respAt, func() { resp(retVal) })
+		m.eng.AtTask(respAt, resp)
 	}
+}
+
+// runAtomicApply is the bank-service leg: value effect, monitored-bit fan
+// out, and the race-free atBank hook, in the same order the closure-based
+// path used.
+func runAtomicApply(t *event.Task) {
+	p := t.Env[0].(*atomicUnit)
+	w, _ := t.Env[1].(*WG)
+	m := p.m
+	v := Var{Addr: mem.Addr(t.I[0]), Scope: Scope(t.I[1]), Group: int(t.I[2])}
+	a, b := t.I[3], t.I[4]
+	op := AtomicOp(t.I[5])
+	old := m.mem.Read(v.Addr)
+	newVal, ret := op.Apply(old, a, b)
+	if rt, _ := t.Env[3].(*event.Task); rt != nil {
+		// The response task is still on the calendar (respAt >= applyAt,
+		// scheduled after us): deposit the return value for it.
+		rt.I[AtomicRet] = ret
+	}
+	if newVal != old {
+		m.mem.Write(v.Addr, newVal)
+	}
+	if op.IsWrite() {
+		p.observeUpdate(v.Addr)
+	}
+	for _, obs := range p.observers {
+		obs(w, v, op, old, newVal)
+	}
+	if atBank, _ := t.Env[2].(func(old, new int64)); atBank != nil {
+		atBank(old, newVal)
+	}
+}
+
+// runAtomicRespFunc adapts a closure-style resp callback to the task path.
+func runAtomicRespFunc(t *event.Task) {
+	t.Env[0].(func(ret int64))(t.I[AtomicRet])
 }
 
 // arm sends a wait-instruction arm for w to the SyncMon at the L2: atBank
@@ -187,6 +245,15 @@ func (p *atomicUnit) characterization() charSummary {
 
 // OnAtomicApply subscribes f to every atomic's bank-service instant.
 func (m *Machine) OnAtomicApply(f AtomicObserver) { m.atomics.subscribe(f) }
+
+// IssueAtomicTask performs an atomic like IssueAtomic but delivers the
+// response through a pooled event task: resp fires at response time with
+// the op's returned value in resp.I[AtomicRet]. High-rate agent paths (the
+// CP's periodic condition checks) use this to avoid a fresh closure per
+// probe.
+func (m *Machine) IssueAtomicTask(w *WG, v Var, op AtomicOp, a, b int64, resp *event.Task) {
+	m.atomics.issueTask(w, v, op, a, b, resp)
+}
 
 // IssueAtomic performs an atomic for w (nil for agent-issued operations
 // such as CP condition checks). The op's value effect and all monitor

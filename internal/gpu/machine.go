@@ -290,23 +290,51 @@ func (m *Machine) runCompute(w *WG, cycles event.Cycle) {
 	if limit := event.Cycle(m.cfg.ProgressWindow / 8); chunk > limit && limit > 0 {
 		chunk = limit
 	}
-	var step func(remaining event.Cycle)
-	step = func(remaining event.Cycle) {
-		// Executing real work is forward progress: only synchronization
-		// stalls may trip the deadlock watchdog. (Busy-wait polling is
-		// atomics, not Compute, so spinning never counts.)
-		m.progress()
-		if remaining == 0 {
-			m.step(w, response{})
-			return
-		}
-		c := chunk
-		if c == 0 || c > remaining {
-			c = remaining
-		}
-		m.eng.After(c*m.sched.issueFactor(w), func() { step(remaining - c) })
+	m.computeStep(w, cycles, chunk)
+}
+
+// computeStep runs one contention-sampled chunk and schedules the next via
+// a pooled task — this chain is the CU-issue hot path.
+func (m *Machine) computeStep(w *WG, remaining, chunk event.Cycle) {
+	// Executing real work is forward progress: only synchronization
+	// stalls may trip the deadlock watchdog. (Busy-wait polling is
+	// atomics, not Compute, so spinning never counts.)
+	m.progress()
+	if remaining == 0 {
+		m.step(w, response{})
+		return
 	}
-	step(cycles)
+	c := chunk
+	if c == 0 || c > remaining {
+		c = remaining
+	}
+	t := m.eng.NewTask(runComputeChunk)
+	t.Env[0] = m
+	t.Env[1] = w
+	t.I[0] = int64(remaining - c)
+	t.I[1] = int64(chunk)
+	m.eng.AfterTask(c*m.sched.issueFactor(w), t)
+}
+
+func runComputeChunk(t *event.Task) {
+	t.Env[0].(*Machine).computeStep(t.Env[1].(*WG), event.Cycle(t.I[0]), event.Cycle(t.I[1]))
+}
+
+// runLoadResp completes a load: the value is read at response time, as the
+// closure-based path did.
+func runLoadResp(t *event.Task) {
+	m := t.Env[0].(*Machine)
+	m.step(t.Env[1].(*WG), response{val: m.mem.Read(mem.Addr(t.I[0]))})
+}
+
+// runStepEmpty resumes a WG with an empty response (stores, barriers).
+func runStepEmpty(t *event.Task) {
+	t.Env[0].(*Machine).step(t.Env[1].(*WG), response{})
+}
+
+// runAtomicStepResp resumes a WG with its atomic's returned value.
+func runAtomicStepResp(t *event.Task) {
+	t.Env[0].(*Machine).step(t.Env[1].(*WG), response{val: t.I[AtomicRet]})
 }
 
 // runParked fires the continuations queued while the WG was away.
@@ -345,22 +373,33 @@ func (m *Machine) handle(w *WG, r request) {
 
 	case reqLoad:
 		respAt := m.mem.LoadTiming(int(w.cu), r.addr)
-		m.eng.At(respAt, func() { m.step(w, response{val: m.mem.Read(r.addr)}) })
+		t := m.eng.NewTask(runLoadResp)
+		t.Env[0] = m
+		t.Env[1] = w
+		t.I[0] = int64(r.addr)
+		m.eng.AtTask(respAt, t)
 
 	case reqStore:
 		respAt := m.mem.StoreTiming(int(w.cu), r.addr)
 		m.mem.Write(r.addr, r.a)
-		m.eng.At(respAt, func() { m.step(w, response{}) })
+		t := m.eng.NewTask(runStepEmpty)
+		t.Env[0] = m
+		t.Env[1] = w
+		m.eng.AtTask(respAt, t)
 
 	case reqAtomic:
-		m.atomics.issue(w, r.v, r.op, r.a, r.b, nil, func(ret int64) {
-			m.step(w, response{val: ret})
-		})
+		t := m.eng.NewTask(runAtomicStepResp)
+		t.Env[0] = m
+		t.Env[1] = w
+		m.atomics.issueTask(w, r.v, r.op, r.a, r.b, t)
 
 	case reqSyncThreads:
 		// The intra-WG barrier's cost grows with the wavefronts it gathers.
 		wf := event.Cycle(w.spec.Wavefronts(m.cfg.SIMDWidth))
-		m.eng.After(event.Cycle(m.cfg.SyncThreadsLatency)*wf, func() { m.step(w, response{}) })
+		t := m.eng.NewTask(runStepEmpty)
+		t.Env[0] = m
+		t.Env[1] = w
+		m.eng.AfterTask(event.Cycle(m.cfg.SyncThreadsLatency)*wf, t)
 
 	case reqAwait, reqAcquire:
 		op := OpLoad

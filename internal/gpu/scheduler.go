@@ -15,12 +15,17 @@ type scheduler struct {
 	queueSeq   uint64
 	dispFree   event.Cycle
 	kickQueued bool
+	kickFn     func() // reusable kick continuation (kick fires constantly)
 }
 
 func newScheduler(m *Machine) *scheduler {
 	s := &scheduler{m: m, cus: make([]*computeUnit, m.cfg.NumCUs)}
 	for i := range s.cus {
 		s.cus[i] = newComputeUnit(CUID(i), m.cfg)
+	}
+	s.kickFn = func() {
+		s.kickQueued = false
+		s.dispatchPass()
 	}
 	return s
 }
@@ -182,10 +187,7 @@ func (s *scheduler) kick() {
 		return
 	}
 	s.kickQueued = true
-	s.m.eng.After(0, func() {
-		s.kickQueued = false
-		s.dispatchPass()
-	})
+	s.m.eng.After(0, s.kickFn)
 }
 
 // pickCU chooses a CU for w, preferring its home group for local-scope

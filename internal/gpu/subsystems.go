@@ -72,6 +72,9 @@ type atomicPipeline interface {
 	subscribe(f AtomicObserver)
 	// issue performs an atomic for w (nil for agent-issued operations).
 	issue(w *WG, v Var, op AtomicOp, a, b int64, atBank func(old, new int64), resp func(ret int64))
+	// issueTask performs an atomic whose response continuation is a pooled
+	// task, fired with the returned value in resp.I[AtomicRet].
+	issueTask(w *WG, v Var, op AtomicOp, a, b int64, resp *event.Task)
 	// arm sends a wait-instruction arm for w to the SyncMon at the L2.
 	arm(w *WG, v Var, atBank func(), resp func())
 	// charBegin/charMet bracket one wait episode for the Table 2 stats.

@@ -242,10 +242,50 @@ type episode struct {
 	justWoken    bool
 	earlyWake    bool // notification arrived before enterWait ran
 	registeredAt event.Cycle
+
+	// A contended episode retries thousands of times, so its continuations
+	// are built once (in Wait, or lazily on first use) and threaded through
+	// episode fields instead of captured per retry.
+	reg        syncmon.RegisterResult // registration outcome of the attempt in flight
+	lastRet    int64                  // atomic return carried between the arm legs (ArmWaitInstr)
+	retry      func()                 // p.attempt(w, ep)
+	atBank     func(old, new int64)   // waiting-atomic registration leg
+	onResp     func(ret int64)        // atomic response leg
+	armBank    func()                 // wait-instruction arm legs
+	armResp    func()
+	fire       func()          // fallback timeout, built on first enterWait
+	onFireLoad func(val int64) // CP condition recheck for non-resident waiters
+	predExpire func()          // stall-prediction expiry, built on first use
 }
 
 func (p *Monitor) Wait(w *gpu.WG, v gpu.Var, op gpu.AtomicOp, a, b, want int64, cmp gpu.Cmp, _ gpu.WaitHint, done func(int64)) {
 	ep := &episode{v: v, op: op, a: a, b: b, want: want, cmp: cmp, done: done}
+	ep.retry = func() { p.attempt(w, ep) }
+	if p.opt.Arm == ArmWaitingAtomic {
+		ep.atBank = func(old, _ int64) {
+			if !ep.cmp.Test(old, ep.want) {
+				// Race-free: same bank-service instant as the op itself.
+				ep.reg = p.sm.Register(w.ID(), ep.v, ep.want, ep.cmp, syncmon.ClassOf(ep.op))
+			}
+		}
+		ep.onResp = func(ret int64) { p.resolve(w, ep, ret, ep.reg) }
+	} else {
+		// Wait-instruction style: plain atomic, then a separate arm. Updates
+		// applied between the atomic's service and the arm's service are
+		// missed — the window of vulnerability.
+		ep.armBank = func() {
+			ep.reg = p.sm.Register(w.ID(), ep.v, ep.want, ep.cmp, syncmon.ClassOf(ep.op))
+		}
+		ep.armResp = func() { p.resolve(w, ep, ep.lastRet, ep.reg) }
+		ep.onResp = func(ret int64) {
+			if ep.cmp.Test(ret, ep.want) {
+				p.resolve(w, ep, ret, -1)
+				return
+			}
+			ep.lastRet = ret
+			p.m.IssueArm(w, ep.v, ep.armBank, ep.armResp)
+		}
+	}
 	w.PolicyData = ep
 	p.attempt(w, ep)
 }
@@ -264,33 +304,12 @@ func (p *Monitor) finish(w *gpu.WG, ep *episode, ret int64) {
 // attempt issues the synchronization atomic once and routes the outcome.
 func (p *Monitor) attempt(w *gpu.WG, ep *episode) {
 	p.m.SetStalled(w, false)
+	ep.reg = syncmon.RegisterResult(-1)
 	if p.opt.Arm == ArmWaitingAtomic {
-		reg := syncmon.RegisterResult(-1)
-		p.m.IssueAtomic(w, ep.v, ep.op, ep.a, ep.b, func(old, _ int64) {
-			if !ep.cmp.Test(old, ep.want) {
-				// Race-free: same bank-service instant as the op itself.
-				reg = p.sm.Register(w.ID(), ep.v, ep.want, ep.cmp, syncmon.ClassOf(ep.op))
-			}
-		}, func(ret int64) {
-			p.resolve(w, ep, ret, reg)
-		})
+		p.m.IssueAtomic(w, ep.v, ep.op, ep.a, ep.b, ep.atBank, ep.onResp)
 		return
 	}
-	// Wait-instruction style: plain atomic, then a separate arm. Updates
-	// applied between the atomic's service and the arm's service are
-	// missed — the window of vulnerability.
-	p.m.IssueAtomic(w, ep.v, ep.op, ep.a, ep.b, nil, func(ret int64) {
-		if ep.cmp.Test(ret, ep.want) {
-			p.resolve(w, ep, ret, -1)
-			return
-		}
-		reg := syncmon.RegisterResult(-1)
-		p.m.IssueArm(w, ep.v, func() {
-			reg = p.sm.Register(w.ID(), ep.v, ep.want, ep.cmp, syncmon.ClassOf(ep.op))
-		}, func() {
-			p.resolve(w, ep, ret, reg)
-		})
-	})
+	p.m.IssueAtomic(w, ep.v, ep.op, ep.a, ep.b, nil, ep.onResp)
 }
 
 // resolve handles an attempt's response given its registration outcome.
@@ -317,16 +336,12 @@ func (p *Monitor) resolve(w *gpu.WG, ep *episode, ret int64, reg syncmon.Registe
 			// instead of waiting.
 			ep.earlyWake = false
 			ep.justWoken = true
-			p.m.Engine().After(event.Cycle(p.m.Config().PollOverhead), func() {
-				p.attempt(w, ep)
-			})
+			p.m.Engine().After(event.Cycle(p.m.Config().PollOverhead), ep.retry)
 			return
 		}
 		p.enterWait(w, ep)
 	default: // Rejected (log full) — Mesa semantics: keep retrying.
-		p.m.Engine().After(event.Cycle(p.m.Config().PollOverhead)+64, func() {
-			p.attempt(w, ep)
-		})
+		p.m.Engine().After(event.Cycle(p.m.Config().PollOverhead)+64, ep.retry)
 	}
 }
 
@@ -343,58 +358,70 @@ func (p *Monitor) enterWait(w *gpu.WG, ep *episode) {
 		if p.stallPred != nil {
 			// AWG: stall for the predicted period first; switch out only
 			// if the condition is still unmet when it expires.
-			d := p.stallPred.Predict(ep.v.Addr.WordAligned())
-			p.m.Engine().After(d, func() {
-				if ep.activeFor(w) && w.Resident() && p.m.Oversubscribed() {
-					p.m.SwitchOut(w)
+			if ep.predExpire == nil {
+				ep.predExpire = func() {
+					if ep.activeFor(w) && w.Resident() && p.m.Oversubscribed() {
+						p.m.SwitchOut(w)
+					}
 				}
-			})
+			}
+			d := p.stallPred.Predict(ep.v.Addr.WordAligned())
+			p.m.Engine().After(d, ep.predExpire)
 		} else {
 			p.m.SwitchOut(w)
 		}
 	}
 
 	if p.opt.Fallback > 0 {
-		var fire func()
-		fire = func() {
-			if !ep.activeFor(w) {
-				return
-			}
-			if !w.Resident() {
-				// Context-switched waiter: switching it in just to poll
-				// would thrash the dispatcher, so the CP re-checks the
-				// condition on its behalf with an L2 read and restores the
-				// WG only if the condition actually holds.
-				p.m.IssueAtomic(nil, gpu.GlobalVar(ep.v.Addr), gpu.OpLoad, 0, 0, nil, func(val int64) {
-					if !ep.activeFor(w) {
-						return
-					}
-					if !ep.cmp.Test(val, ep.want) {
-						p.m.Engine().After(p.opt.Fallback, fire)
-						return
-					}
-					p.sm.Unregister(w.ID(), ep.v, ep.want, ep.cmp)
+		if ep.fire == nil {
+			ep.onFireLoad = func(val int64) {
+				if !ep.activeFor(w) {
+					return
+				}
+				if !ep.cmp.Test(val, ep.want) {
+					p.m.Engine().After(p.opt.Fallback, ep.fire)
+					return
+				}
+				// A waiter is registered in exactly one place: the SyncMon
+				// cache or, spilled, the log/CP side. Unregistering with the
+				// CP after a cache hit would plant a stale tombstone there
+				// that swallows this WG's next spill on the same condition.
+				if !p.sm.Unregister(w.ID(), ep.v, ep.want, ep.cmp) {
 					p.cpp.Unregister(w.ID(), ep.v, ep.want, ep.cmp)
-					p.m.Count.Timeouts++
-					p.m.Trace(w, trace.TimeoutFire)
-					ep.waiting = false
-					ep.justWoken = true
-					p.m.Deliver(w, func() { p.attempt(w, ep) })
-				})
-				return
+				}
+				p.m.Count.Timeouts++
+				p.m.Trace(w, trace.TimeoutFire)
+				ep.waiting = false
+				ep.justWoken = true
+				p.m.Deliver(w, ep.retry)
 			}
-			// Stalled on the CU: withdraw the registration and recheck
-			// ourselves ("eventually the stalled WGs will time out and be
-			// activated").
-			p.sm.Unregister(w.ID(), ep.v, ep.want, ep.cmp)
-			p.cpp.Unregister(w.ID(), ep.v, ep.want, ep.cmp)
-			p.m.Count.Timeouts++
-			p.m.Trace(w, trace.TimeoutFire)
-			ep.waiting = false
-			p.m.Deliver(w, func() { p.attempt(w, ep) })
+			ep.fire = func() {
+				if !ep.activeFor(w) {
+					return
+				}
+				if !w.Resident() {
+					// Context-switched waiter: switching it in just to poll
+					// would thrash the dispatcher, so the CP re-checks the
+					// condition on its behalf with an L2 read and restores the
+					// WG only if the condition actually holds.
+					p.m.IssueAtomic(nil, gpu.GlobalVar(ep.v.Addr), gpu.OpLoad, 0, 0, nil, ep.onFireLoad)
+					return
+				}
+				// Stalled on the CU: withdraw the registration and recheck
+				// ourselves ("eventually the stalled WGs will time out and be
+				// activated"). Same single-home rule as above: the CP only
+				// hears about the withdrawal when the cache did not hold it.
+				if !p.sm.Unregister(w.ID(), ep.v, ep.want, ep.cmp) {
+					p.cpp.Unregister(w.ID(), ep.v, ep.want, ep.cmp)
+				}
+				p.m.Count.Timeouts++
+				p.m.Trace(w, trace.TimeoutFire)
+				ep.waiting = false
+				p.m.Deliver(w, ep.retry)
+			}
 		}
 		d := p.opt.Fallback + event.Cycle(p.m.Jitter(uint64(p.opt.Fallback/4+1)))
-		p.m.Engine().After(d, fire)
+		p.m.Engine().After(d, ep.fire)
 	}
 }
 
@@ -419,5 +446,5 @@ func (p *Monitor) onWake(id gpu.WGID, addr memAddr, want int64, met bool) {
 	if p.stallPred != nil && met {
 		p.stallPred.Record(addr, p.m.Engine().Now()-ep.registeredAt)
 	}
-	p.m.Deliver(w, func() { p.attempt(w, ep) })
+	p.m.Deliver(w, ep.retry)
 }

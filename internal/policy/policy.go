@@ -41,24 +41,27 @@ func (b *Baseline) Name() string                { return "Baseline" }
 func (b *Baseline) Attach(m *gpu.Machine) error { b.m = m; return nil }
 
 func (b *Baseline) Wait(w *gpu.WG, v gpu.Var, op gpu.AtomicOp, a, b2, want int64, cmp gpu.Cmp, hint gpu.WaitHint, done func(int64)) {
+	// The retry loop shares one attempt and one response continuation per
+	// episode: a contended episode can spin thousands of times, and each
+	// retry must not allocate.
 	backoff := b.BackoffBase
 	var attempt func()
-	attempt = func() {
-		b.m.IssueAtomic(w, v, op, a, b2, nil, func(ret int64) {
-			if cmp.Test(ret, want) {
-				done(ret)
-				return
+	var onResp func(int64)
+	onResp = func(ret int64) {
+		if cmp.Test(ret, want) {
+			done(ret)
+			return
+		}
+		delay := event.Cycle(b.m.Config().PollOverhead)
+		if hint.Backoff {
+			delay += backoff + event.Cycle(b.m.Jitter(uint64(backoff/4+1)))
+			if backoff*2 <= b.BackoffMax {
+				backoff *= 2
 			}
-			delay := event.Cycle(b.m.Config().PollOverhead)
-			if hint.Backoff {
-				delay += backoff + event.Cycle(b.m.Jitter(uint64(backoff/4+1)))
-				if backoff*2 <= b.BackoffMax {
-					backoff *= 2
-				}
-			}
-			b.m.Engine().After(delay, attempt)
-		})
+		}
+		b.m.Engine().After(delay, attempt)
 	}
+	attempt = func() { b.m.IssueAtomic(w, v, op, a, b2, nil, onResp) }
 	attempt()
 }
 
@@ -88,26 +91,27 @@ func (s *Sleep) Wait(w *gpu.WG, v gpu.Var, op gpu.AtomicOp, a, b, want int64, cm
 		backoff = s.MaxBackoff
 	}
 	var attempt func()
-	attempt = func() {
-		s.m.IssueAtomic(w, v, op, a, b, nil, func(ret int64) {
-			if cmp.Test(ret, want) {
-				done(ret)
-				return
-			}
-			s.m.Count.Stalls++
-			d := backoff + event.Cycle(s.m.Jitter(uint64(backoff/8+1)))
-			if backoff*2 <= s.MaxBackoff {
-				backoff *= 2
-			}
-			// s_sleep parks the wavefront: issue slots free up while the
-			// timer runs, though all other resources stay held.
-			s.m.SetStalled(w, true)
-			s.m.Engine().After(d, func() {
-				s.m.SetStalled(w, false)
-				attempt()
-			})
-		})
+	resume := func() {
+		s.m.SetStalled(w, false)
+		attempt()
 	}
+	var onResp func(int64)
+	onResp = func(ret int64) {
+		if cmp.Test(ret, want) {
+			done(ret)
+			return
+		}
+		s.m.Count.Stalls++
+		d := backoff + event.Cycle(s.m.Jitter(uint64(backoff/8+1)))
+		if backoff*2 <= s.MaxBackoff {
+			backoff *= 2
+		}
+		// s_sleep parks the wavefront: issue slots free up while the
+		// timer runs, though all other resources stay held.
+		s.m.SetStalled(w, true)
+		s.m.Engine().After(d, resume)
+	}
+	attempt = func() { s.m.IssueAtomic(w, v, op, a, b, nil, onResp) }
 	attempt()
 }
 
@@ -134,27 +138,27 @@ func (t *Timeout) Attach(m *gpu.Machine) error { t.m = m; return nil }
 
 func (t *Timeout) Wait(w *gpu.WG, v gpu.Var, op gpu.AtomicOp, a, b, want int64, cmp gpu.Cmp, _ gpu.WaitHint, done func(int64)) {
 	var attempt func()
-	attempt = func() {
-		t.m.IssueAtomic(w, v, op, a, b, nil, func(ret int64) {
-			if cmp.Test(ret, want) {
-				done(ret)
-				return
-			}
-			t.m.Count.Stalls++
-			if t.m.Oversubscribed() {
-				// Yield resources for the interval.
-				t.m.SwitchOut(w)
-				t.m.Engine().After(t.Interval, func() {
-					t.m.Deliver(w, attempt)
-				})
-			} else {
-				t.m.SetStalled(w, true)
-				t.m.Engine().After(t.Interval, func() {
-					t.m.SetStalled(w, false)
-					attempt()
-				})
-			}
-		})
+	deliver := func() { t.m.Deliver(w, attempt) }
+	resume := func() {
+		t.m.SetStalled(w, false)
+		attempt()
 	}
+	var onResp func(int64)
+	onResp = func(ret int64) {
+		if cmp.Test(ret, want) {
+			done(ret)
+			return
+		}
+		t.m.Count.Stalls++
+		if t.m.Oversubscribed() {
+			// Yield resources for the interval.
+			t.m.SwitchOut(w)
+			t.m.Engine().After(t.Interval, deliver)
+		} else {
+			t.m.SetStalled(w, true)
+			t.m.Engine().After(t.Interval, resume)
+		}
+	}
+	attempt = func() { t.m.IssueAtomic(w, v, op, a, b, nil, onResp) }
 	attempt()
 }

@@ -376,6 +376,52 @@ func TestSporadicWakesAreWasteful(t *testing.T) {
 	}
 }
 
+// TestTimeoutWithdrawalDoesNotLoseCPWakeup is the lost-wakeup regression:
+// a spilled waiter's fallback timeout withdraws its registration while the
+// entry is still in the Monitor Log ring; the WG retries, fails, and spills
+// the same condition again. The withdrawal used to tombstone the ring entry
+// (SyncMon side) AND record a deferred tombstone with the CP — the ring
+// tombstone is skipped by Pop and never consumed, so the CP one stayed
+// stale and silently swallowed the re-spilled entry at drain time. The
+// waiter then never reached the CP table and only ever resumed through its
+// own timeouts, never through a CP wake.
+func TestTimeoutWithdrawalDoesNotLoseCPWakeup(t *testing.T) {
+	// No SyncMon cache: every registration spills to the log. The drain
+	// cadence (20k) is longer than the fallback (12k), so the first timeout
+	// fires while the entry is still in the ring; the producer satisfies
+	// the condition just after the first drain, and the frequent check
+	// passes (1k) must then wake the re-spilled waiter before its next
+	// timeout would paper over the loss.
+	smCfg := syncmon.DefaultConfig()
+	smCfg.Sets = 0
+	smCfg.WaitListSize = 0
+	cpCfg := cp.DefaultConfig()
+	cpCfg.DrainInterval = 20_000
+	cpCfg.CheckInterval = 1_000
+	pol := policy.NewMonitor(policy.MonitorOptions{
+		Name: "MonNR-All-slowdrain", Arm: policy.ArmWaitingAtomic,
+		Fallback:      12_000,
+		SyncMonConfig: &smCfg,
+		CPConfig:      &cpCfg,
+	})
+	res, m := run(t, producerConsumer(2, 20_200, 0x5000, 1), pol)
+	if res.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if res.Timeouts == 0 {
+		t.Fatal("scenario never exercised the timeout withdrawal")
+	}
+	if res.LogSpills < 2 {
+		t.Fatalf("LogSpills = %d, want >= 2 (initial spill + re-spill)", res.LogSpills)
+	}
+	if res.Resumes == 0 {
+		t.Fatal("waiter never woken by the CP: re-spill swallowed by a stale tombstone")
+	}
+	if got := m.Mem().Read(0x5000); got != 1 {
+		t.Fatalf("flag = %d", got)
+	}
+}
+
 // TestAWGPredictorActivity: AWG must actually exercise its predictor on a
 // mixed mutex+barrier kernel.
 func TestAWGPredictorActivity(t *testing.T) {

@@ -129,8 +129,9 @@ type MonitorLog struct {
 	entries []LogEntry
 	dead    []bool
 	head    int
-	size    int
-	maxSize int
+	size    int // occupied ring slots, tombstones included (gates Push)
+	live    int // non-tombstoned entries
+	maxLive int // high-water mark of live
 }
 
 // NewMonitorLog builds a log with the given capacity.
@@ -147,8 +148,9 @@ func (l *MonitorLog) Push(e LogEntry) bool {
 	l.entries[tail] = e
 	l.dead[tail] = false
 	l.size++
-	if l.size > l.maxSize {
-		l.maxSize = l.size
+	l.live++
+	if l.live > l.maxLive {
+		l.maxLive = l.live
 	}
 	return true
 }
@@ -160,28 +162,36 @@ func (l *MonitorLog) Pop() (LogEntry, bool) {
 		l.head = (l.head + 1) % len(l.entries)
 		l.size--
 		if !dead {
+			l.live--
 			return e, true
 		}
 	}
 	return LogEntry{}, false
 }
 
-// Len reports the live entry count (including tombstones until popped).
-func (l *MonitorLog) Len() int { return l.size }
+// Len reports the live entry count; tombstoned entries still occupy ring
+// slots (and gate Push) but are not waiting conditions and do not count.
+func (l *MonitorLog) Len() int { return l.live }
 
-// MaxLen reports the high-water occupancy.
-func (l *MonitorLog) MaxLen() int { return l.maxSize }
+// MaxLen reports the high-water mark of live entries.
+func (l *MonitorLog) MaxLen() int { return l.maxLive }
 
-// Remove tombstones all entries for the given waiter/condition (used when a
-// waiter's timeout fires before the CP drains it).
-func (l *MonitorLog) Remove(wg gpu.WGID, addr mem.Addr, want int64) {
+// Remove tombstones all live entries for the given waiter/condition (used
+// when a waiter's timeout fires before the CP drains it) and reports how
+// many it tombstoned — zero tells the caller the entry is not in the ring
+// (already popped into a drain batch, or never spilled).
+func (l *MonitorLog) Remove(wg gpu.WGID, addr mem.Addr, want int64) int {
+	removed := 0
 	for i := 0; i < l.size; i++ {
 		idx := (l.head + i) % len(l.entries)
 		e := l.entries[idx]
 		if !l.dead[idx] && e.WG == wg && e.Addr == addr && e.Want == want {
 			l.dead[idx] = true
+			l.live--
+			removed++
 		}
 	}
+	return removed
 }
 
 // SyncMon is the monitor block. It subscribes to the machine's atomic
@@ -202,6 +212,19 @@ type SyncMon struct {
 	// High-water marks for Figure 13 / the hardware-overhead analysis.
 	maxConds, maxWaiters, maxMonitored int
 	conds                              int
+
+	// observe() scratch, reused across calls: a hot barrier's release makes
+	// the wake fan-out fire on every update, so it must not allocate.
+	metScratch  []*condEntry
+	wakeScratch []wakeup
+	clsScratch  []OpClass
+}
+
+// wakeup is one pending resume collected during an observe pass; wakes are
+// delivered after all condition bookkeeping so callbacks see settled state.
+type wakeup struct {
+	wt   waiter
+	want int64
 }
 
 // New builds a SyncMon on machine m. selector picks resume counts in
@@ -358,23 +381,31 @@ func (s *SyncMon) spill(wg gpu.WGID, addr mem.Addr, want int64, cmp gpu.Cmp) Reg
 	return Spilled
 }
 
-// Unregister removes wg's condition from the cache and tombstones any log
-// copies; used when a policy-side timeout ends the wait.
-func (s *SyncMon) Unregister(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp) {
+// Unregister removes wg's condition from the cache, reporting whether it
+// was found there; used when a policy-side timeout ends the wait. A waiter
+// lives in exactly one place — the cache or (spilled) the log/CP side — so
+// on a cache hit the caller must NOT also unregister with the CP: doing so
+// would plant a stale tombstone that silently swallows the WG's next spill
+// on the same condition (a lost wakeup).
+func (s *SyncMon) Unregister(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp) bool {
 	addr := v.Addr.WordAligned()
-	if e := s.findEntry(addr, want, cmp); e != nil {
-		for i, wt := range e.waiters {
-			if wt.wg == wg {
-				e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
-				s.waiters--
-				break
-			}
-		}
-		if len(e.waiters) == 0 {
-			s.dropEntry(e)
+	e := s.findEntry(addr, want, cmp)
+	if e == nil {
+		return false
+	}
+	found := false
+	for i, wt := range e.waiters {
+		if wt.wg == wg {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			s.waiters--
+			found = true
+			break
 		}
 	}
-	s.log.Remove(wg, addr, want)
+	if len(e.waiters) == 0 {
+		s.dropEntry(e)
+	}
+	return found
 }
 
 // dropEntry frees a condition entry and unpins/unmonitors as needed.
@@ -428,22 +459,19 @@ func (s *SyncMon) observe(by *gpu.WG, v gpu.Var, op gpu.AtomicOp, old, new int64
 		return
 	}
 	s.selector.ObserveUpdate(addr, new)
-	var met []*condEntry
+	met := s.metScratch[:0]
 	for _, e := range s.byAddr[addr] {
 		if len(e.waiters) > 0 && e.cmp.Test(new, e.want) {
 			met = append(met, e)
 		}
 	}
-	type wakeup struct {
-		wt   waiter
-		want int64
-	}
-	var wakeups []wakeup
+	wakeups := s.wakeScratch[:0]
 	for _, e := range met {
-		classes := make([]OpClass, len(e.waiters))
-		for i, wt := range e.waiters {
-			classes[i] = wt.class
+		classes := s.clsScratch[:0]
+		for _, wt := range e.waiters {
+			classes = append(classes, wt.class)
 		}
+		s.clsScratch = classes
 		n := s.selector.Select(addr, e.want, classes)
 		if n < 1 {
 			n = 1
@@ -454,12 +482,17 @@ func (s *SyncMon) observe(by *gpu.WG, v gpu.Var, op gpu.AtomicOp, old, new int64
 		for _, wt := range e.waiters[:n] {
 			wakeups = append(wakeups, wakeup{wt, e.want})
 		}
-		e.waiters = append([]waiter(nil), e.waiters[n:]...)
+		e.waiters = e.waiters[:copy(e.waiters, e.waiters[n:])]
 		s.waiters -= n
 		if len(e.waiters) == 0 {
 			s.dropEntry(e)
 		}
 	}
+	for i := range met {
+		met[i] = nil // drop condEntry refs held by the scratch capacity
+	}
+	s.metScratch = met[:0]
+	s.wakeScratch = wakeups[:0]
 	for _, wu := range wakeups {
 		s.wake(wu.wt.wg, addr, wu.want, true)
 	}

@@ -113,10 +113,84 @@ func TestMonitorLogRemove(t *testing.T) {
 	l := NewMonitorLog(4)
 	l.Push(LogEntry{Addr: 8, Want: 1, WG: 5})
 	l.Push(LogEntry{Addr: 8, Want: 1, WG: 6})
-	l.Remove(5, 8, 1)
+	if n := l.Remove(5, 8, 1); n != 1 {
+		t.Fatalf("Remove tombstoned %d entries, want 1", n)
+	}
 	e, ok := l.Pop()
 	if !ok || e.WG != 6 {
 		t.Fatalf("pop after remove = %+v ok=%v, want WG 6", e, ok)
+	}
+	// A second removal of the same waiter finds nothing: the entry is
+	// already dead. Callers (the CP's Unregister) rely on the zero return
+	// to tell "still in the ring" from "already popped".
+	if n := l.Remove(5, 8, 1); n != 0 {
+		t.Fatalf("re-Remove tombstoned %d entries, want 0", n)
+	}
+}
+
+func TestMonitorLogLenIgnoresTombstones(t *testing.T) {
+	l := NewMonitorLog(8)
+	l.Push(LogEntry{Addr: 8, Want: 1, WG: 5})
+	l.Push(LogEntry{Addr: 8, Want: 1, WG: 6})
+	l.Push(LogEntry{Addr: 16, Want: 2, WG: 7})
+	if l.Len() != 3 || l.MaxLen() != 3 {
+		t.Fatalf("len=%d max=%d, want 3/3", l.Len(), l.MaxLen())
+	}
+	// Tombstoned entries are not waiting conditions: Len drops, MaxLen
+	// keeps the live high-water.
+	l.Remove(5, 8, 1)
+	if l.Len() != 2 || l.MaxLen() != 3 {
+		t.Fatalf("after remove len=%d max=%d, want 2/3", l.Len(), l.MaxLen())
+	}
+	l.Remove(7, 16, 2)
+	if l.Len() != 1 {
+		t.Fatalf("after second remove len=%d, want 1", l.Len())
+	}
+	// A push after removals raises Len but not the high-water (2 < 3).
+	l.Push(LogEntry{Addr: 24, Want: 3, WG: 8})
+	if l.Len() != 2 || l.MaxLen() != 3 {
+		t.Fatalf("after push len=%d max=%d, want 2/3", l.Len(), l.MaxLen())
+	}
+	// Pops skip the dead entries and account only live ones.
+	if e, ok := l.Pop(); !ok || e.WG != 6 {
+		t.Fatalf("pop = %+v ok=%v, want WG 6", e, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("after pop len=%d, want 1", l.Len())
+	}
+	if e, ok := l.Pop(); !ok || e.WG != 8 {
+		t.Fatalf("pop = %+v ok=%v, want WG 8", e, ok)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("after draining len=%d, want 0", l.Len())
+	}
+	if _, ok := l.Pop(); ok {
+		t.Fatal("pop from drained log succeeded")
+	}
+}
+
+func TestMonitorLogPushGatedByPhysicalSlots(t *testing.T) {
+	// Tombstones still occupy ring slots until a pop walks past them, so a
+	// physically full ring rejects pushes even when Len is low.
+	l := NewMonitorLog(2)
+	l.Push(LogEntry{Addr: 8, Want: 1, WG: 1})
+	l.Push(LogEntry{Addr: 8, Want: 1, WG: 2})
+	l.Remove(1, 8, 1)
+	if l.Len() != 1 {
+		t.Fatalf("len=%d, want 1", l.Len())
+	}
+	if l.Push(LogEntry{Addr: 8, Want: 1, WG: 3}) {
+		t.Fatal("push into physically full ring succeeded")
+	}
+	// Popping reclaims the dead slot along with the live one.
+	if e, ok := l.Pop(); !ok || e.WG != 2 {
+		t.Fatalf("pop = %+v ok=%v, want WG 2", e, ok)
+	}
+	if !l.Push(LogEntry{Addr: 8, Want: 1, WG: 3}) {
+		t.Fatal("push after reclaim failed")
+	}
+	if l.Len() != 1 || l.MaxLen() != 2 {
+		t.Fatalf("len=%d max=%d, want 1/2", l.Len(), l.MaxLen())
 	}
 }
 
@@ -276,13 +350,39 @@ func TestUnregister(t *testing.T) {
 	h := newHarness(t, DefaultConfig())
 	v := gpu.GlobalVar(0x800)
 	h.sm.Register(1, v, 1, gpu.CmpEQ, ClassLoad)
-	h.sm.Unregister(1, v, 1, gpu.CmpEQ)
+	if !h.sm.Unregister(1, v, 1, gpu.CmpEQ) {
+		t.Fatal("Unregister missed a cached waiter")
+	}
 	if h.sm.Waiters() != 0 || h.sm.Conditions() != 0 {
 		t.Fatal("unregister left state behind")
+	}
+	// A second withdrawal reports a cache miss, telling the policy the
+	// waiter (if it exists at all) is on the spilled log/CP side.
+	if h.sm.Unregister(1, v, 1, gpu.CmpEQ) {
+		t.Fatal("Unregister reported a hit for an absent waiter")
 	}
 	h.update(0x800, gpu.OpStore, 1)
 	if len(h.wakes) != 0 {
 		t.Fatal("unregistered waiter was woken")
+	}
+}
+
+func TestUnregisterSpilledReportsMiss(t *testing.T) {
+	// With no cache, every registration spills: Unregister must report a
+	// miss (it no longer touches the log — the CP's Unregister owns the
+	// spilled side) and the ring entry must stay live.
+	cfg := DefaultConfig()
+	cfg.Sets = 0
+	h := newHarness(t, cfg)
+	v := gpu.GlobalVar(0x840)
+	if h.sm.Register(1, v, 1, gpu.CmpEQ, ClassLoad) != Spilled {
+		t.Fatal("expected spill with no cache")
+	}
+	if h.sm.Unregister(1, v, 1, gpu.CmpEQ) {
+		t.Fatal("Unregister claimed a cache hit for a spilled waiter")
+	}
+	if h.sm.Log().Len() != 1 {
+		t.Fatalf("log len=%d, want 1 (SyncMon must not tombstone the ring)", h.sm.Log().Len())
 	}
 }
 
