@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fuzz ci bench exp quick
+.PHONY: all build test race vet fmt lint lint-fix fuzz ci bench exp quick
 
 all: build
 
@@ -21,6 +21,18 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# lint runs awglint, the repo's domain analyzer suite: simdeterminism,
+# hotpathalloc, waiterhome, ctorerr, schedpast, plus reduced nilness and
+# shadow checks. Suppress a justified finding with
+# `//lint:allow <analyzer> <reason>` on (or above) the offending line.
+lint:
+	$(GO) run ./cmd/awglint ./...
+
+# lint-fix applies the mechanical SuggestedFixes (e.g. After(0) -> After(1))
+# in place, then re-reports anything that remains.
+lint-fix:
+	$(GO) run ./cmd/awglint -fix ./...
+
 # fuzz runs short native-fuzzing smokes: random fault schedules through a
 # small oversubscribed sim with the IFP invariant enforced on every outcome,
 # and random schedule/run interleavings through the event-engine calendar
@@ -36,10 +48,11 @@ fuzz:
 golden:
 	$(GO) run ./cmd/awgexp -quick -golden GOLDEN_quick.json > /dev/null
 
-# ci is the full gate: formatting, static checks, the race-instrumented
-# test suite (which exercises the parallel experiment pool), the fuzz
-# smokes, and the golden-record drift check.
-ci: fmt vet race fuzz golden
+# ci is the full gate: formatting, static checks (go vet plus the awglint
+# domain analyzers), the race-instrumented test suite (which exercises the
+# parallel experiment pool), the fuzz smokes, and the golden-record drift
+# check.
+ci: fmt vet lint race fuzz golden
 
 # bench appends a perf-trajectory entry to BENCH_results.json and runs the
 # hot-path benchmarks: the event-engine calendar microbenchmarks and the

@@ -121,6 +121,7 @@ func main() {
 	}
 
 	report := benchReport{
+		//lint:allow simdeterminism bench-report timestamp; never enters simulated state or golden output
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    *workers,
@@ -128,15 +129,16 @@ func main() {
 	}
 	record := goldenFile{Quick: *quick}
 	var failures []string
-	suiteStart := time.Now()
+	suiteStart := time.Now() //lint:allow simdeterminism wall time for the bench trajectory only
 	for _, e := range run {
-		start := time.Now()
+		start := time.Now() //lint:allow simdeterminism wall time for the bench trajectory only
 		cyc0, runs0 := sim.Totals()
 		tab, err := e.Run(opts)
 		cyc1, runs1 := sim.Totals()
 		entry := benchEntry{
-			ID:        e.ID,
-			Title:     e.Title,
+			ID:    e.ID,
+			Title: e.Title,
+			//lint:allow simdeterminism wall time for the bench trajectory only
 			WallSecs:  time.Since(start).Seconds(),
 			SimCycles: cyc1 - cyc0,
 			SimRuns:   runs1 - runs0,
@@ -171,7 +173,7 @@ func main() {
 	if *exp == "" && len(failures) == 0 {
 		fmt.Println(experiments.HardwareOverhead().String())
 	}
-	report.TotalSecs = time.Since(suiteStart).Seconds()
+	report.TotalSecs = time.Since(suiteStart).Seconds() //lint:allow simdeterminism wall time for the bench trajectory only
 	report.TotalCycles, report.TotalRuns = sim.Totals()
 
 	if *cpuprofile != "" {

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestCrossRunDeterminism renders every experiment twice at the quick scale
+// with the worker pool forced wide (GOMAXPROCS >= 2, so sim.RunAll really
+// interleaves whole simulations across goroutines) and requires
+// byte-identical tables — the paper's replay guarantee checked end to end,
+// through the same path the golden record pins.
+func TestCrossRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick-suite passes")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		prev := runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	for _, e := range All() {
+		first, err := e.Run(quick)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		second, err := e.Run(quick)
+		if err != nil {
+			t.Fatalf("%s (second run): %v", e.ID, err)
+		}
+		if first.String() != second.String() {
+			t.Errorf("%s: output differs between identical runs\n--- first\n%s\n--- second\n%s",
+				e.ID, first.String(), second.String())
+		}
+	}
+}

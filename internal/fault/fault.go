@@ -154,7 +154,6 @@ func Arm(m *gpu.Machine, sched Schedule) error {
 		return err
 	}
 	for _, e := range sched.Events {
-		e := e
 		switch e.Op {
 		case CULoss:
 			m.Engine().At(e.At, func() { m.PreemptCU(gpu.CUID(e.CU)) })

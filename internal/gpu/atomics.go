@@ -1,6 +1,8 @@
 package gpu
 
 import (
+	"sort"
+
 	"awgsim/internal/event"
 	"awgsim/internal/mem"
 	"awgsim/internal/metrics"
@@ -223,7 +225,15 @@ func (p *atomicUnit) characterization() charSummary {
 	var conds, maxW int
 	var updSum float64
 	var updN int
-	for _, c := range p.chars {
+	// Iterate in address order: the float accumulation below is not
+	// associative, so map order would leak into the Table 2 mean.
+	addrs := make([]mem.Addr, 0, len(p.chars))
+	for a := range p.chars {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		c := p.chars[a]
 		conds += len(c.wants)
 		if c.maxWaiters > maxW {
 			maxW = c.maxWaiters

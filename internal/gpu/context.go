@@ -30,18 +30,41 @@ func (c *ctxSwitcher) saveOut(w *WG, requeueReady bool) {
 	m.Count.SwitchesOut++
 	m.Trace(w, trace.SwitchOut)
 	cu := m.sched.cu(w.cu)
-	m.eng.After(event.Cycle(m.cfg.CPLatency), func() {
-		doneAt := m.mem.ContextTraffic(w.spec.ContextBytes(m.cfg.SIMDWidth))
-		m.eng.At(doneAt, func() {
-			cu.release(w, m.cfg.SIMDWidth)
-			w.state = StateSwitchedOut
-			if w.readyWhenSaved {
-				w.readyWhenSaved = false
-				c.markReady(w)
-			}
-			m.sched.kick()
-		})
-	})
+	t := m.eng.NewTask(runSaveTraffic)
+	t.Env[0] = c
+	t.Env[1] = w
+	t.Env[2] = cu
+	m.eng.AfterTask(event.Cycle(m.cfg.CPLatency), t)
+}
+
+// runSaveTraffic is the CP-firmware leg of a context save: it reserves the
+// context-size memory traffic and schedules the completion leg.
+func runSaveTraffic(t *event.Task) {
+	c := t.Env[0].(*ctxSwitcher)
+	w := t.Env[1].(*WG)
+	m := c.m
+	doneAt := m.mem.ContextTraffic(w.spec.ContextBytes(m.cfg.SIMDWidth))
+	t2 := m.eng.NewTask(runSaveDone)
+	t2.Env[0] = c
+	t2.Env[1] = w
+	t2.Env[2] = t.Env[2]
+	m.eng.AtTask(doneAt, t2)
+}
+
+// runSaveDone lands a context save: resources free, the WG is switched out
+// (queued ready when it was preempted mid-execution), the dispatcher runs.
+func runSaveDone(t *event.Task) {
+	c := t.Env[0].(*ctxSwitcher)
+	w := t.Env[1].(*WG)
+	cu := t.Env[2].(*computeUnit)
+	m := c.m
+	cu.release(w, m.cfg.SIMDWidth)
+	w.state = StateSwitchedOut
+	if w.readyWhenSaved {
+		w.readyWhenSaved = false
+		c.markReady(w)
+	}
+	m.sched.kick()
 }
 
 // switchOut context-switches a resident WG out: CP firmware latency plus
@@ -63,24 +86,56 @@ func (c *ctxSwitcher) switchIn(w *WG, cu *computeUnit) {
 	w.state = StateSwitchingIn
 	m.Count.SwitchesIn++
 	at := m.sched.dispatchSlot()
-	m.eng.At(at, func() {
-		m.eng.After(event.Cycle(m.cfg.CPLatency), func() {
-			doneAt := m.mem.ContextTraffic(w.spec.ContextBytes(m.cfg.SIMDWidth))
-			m.eng.At(doneAt, func() {
-				if !cu.enabled {
-					// The CU was preempted away mid-restore; requeue.
-					cu.release(w, m.cfg.SIMDWidth)
-					w.state = StateReady
-					m.sched.requeueReady(w)
-					return
-				}
-				w.state = StateResident
-				m.progress()
-				m.Trace(w, trace.SwitchIn)
-				m.runParked(w)
-			})
-		})
-	})
+	t := m.eng.NewTask(runRestoreCP)
+	t.Env[0] = c
+	t.Env[1] = w
+	t.Env[2] = cu
+	m.eng.AtTask(at, t)
+}
+
+// runRestoreCP fires at the restore's dispatch slot and starts the CP
+// firmware latency leg.
+func runRestoreCP(t *event.Task) {
+	c := t.Env[0].(*ctxSwitcher)
+	t2 := c.m.eng.NewTask(runRestoreTraffic)
+	t2.Env[0] = c
+	t2.Env[1] = t.Env[1]
+	t2.Env[2] = t.Env[2]
+	c.m.eng.AfterTask(event.Cycle(c.m.cfg.CPLatency), t2)
+}
+
+// runRestoreTraffic reserves the context-restore memory traffic and
+// schedules the completion leg.
+func runRestoreTraffic(t *event.Task) {
+	c := t.Env[0].(*ctxSwitcher)
+	w := t.Env[1].(*WG)
+	m := c.m
+	doneAt := m.mem.ContextTraffic(w.spec.ContextBytes(m.cfg.SIMDWidth))
+	t2 := m.eng.NewTask(runRestoreDone)
+	t2.Env[0] = c
+	t2.Env[1] = w
+	t2.Env[2] = t.Env[2]
+	m.eng.AtTask(doneAt, t2)
+}
+
+// runRestoreDone lands a context restore: the WG becomes resident and its
+// parked continuations run — unless its CU was preempted away mid-restore,
+// in which case it requeues ready.
+func runRestoreDone(t *event.Task) {
+	c := t.Env[0].(*ctxSwitcher)
+	w := t.Env[1].(*WG)
+	cu := t.Env[2].(*computeUnit)
+	m := c.m
+	if !cu.enabled {
+		cu.release(w, m.cfg.SIMDWidth)
+		w.state = StateReady
+		m.sched.requeueReady(w)
+		return
+	}
+	w.state = StateResident
+	m.progress()
+	m.Trace(w, trace.SwitchIn)
+	m.runParked(w)
 }
 
 // markReady promotes a switched-out WG to the ready queue. Safe to call in

@@ -165,15 +165,25 @@ func (m *Machine) InjectKernel(spec *KernelSpec, at event.Cycle, priority int) (
 	}
 	m.allWGs = append(m.allWGs, kr.wgs...)
 	m.kernels = append(m.kernels, kr)
-	m.eng.At(at, func() {
-		kr.launched = m.eng.Now()
-		m.sched.enqueuePending(kr.wgs)
-		if priority > 0 {
-			m.sched.evictForRoom(kr)
-		}
-		m.sched.kick()
-	})
+	t := m.eng.NewTask(runKernelLaunch)
+	t.Env[0] = m
+	t.Env[1] = kr
+	m.eng.AtTask(at, t)
 	return KernelHandle{kr: kr}, nil
+}
+
+// runKernelLaunch fires at a kernel's injection time: its WGs enqueue
+// pending, a positive-priority kernel evicts residents for room, and the
+// dispatcher runs.
+func runKernelLaunch(t *event.Task) {
+	m := t.Env[0].(*Machine)
+	kr := t.Env[1].(*kernelRun)
+	kr.launched = m.eng.Now()
+	m.sched.enqueuePending(kr.wgs)
+	if kr.priority > 0 {
+		m.sched.evictForRoom(kr)
+	}
+	m.sched.kick()
 }
 
 // Engine exposes the event engine (harnesses use it to schedule the
@@ -256,27 +266,36 @@ func (m *Machine) start(w *WG, cu *computeUnit) {
 	cu.host(w, m.cfg.SIMDWidth)
 	w.state = StateResident
 	at := m.sched.dispatchSlot()
-	m.eng.At(at, func() {
-		w.started = true
-		w.phaseStart = m.eng.Now()
-		m.progress()
-		m.Trace(w, trace.Start)
-		dev := &wgDevice{w: w, numWGs: w.spec.NumWGs}
-		m.wgWait.Add(1)
-		go func() {
-			defer m.wgWait.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(abortSentinel); !ok {
-						panic(r)
-					}
+	t := m.eng.NewTask(runStartBody)
+	t.Env[0] = m
+	t.Env[1] = w
+	m.eng.AtTask(at, t)
+}
+
+// runStartBody fires at a WG's dispatch slot: the program goroutine
+// launches and the machine enters the WG's request loop.
+func runStartBody(t *event.Task) {
+	m := t.Env[0].(*Machine)
+	w := t.Env[1].(*WG)
+	w.started = true
+	w.phaseStart = m.eng.Now()
+	m.progress()
+	m.Trace(w, trace.Start)
+	dev := &wgDevice{w: w, numWGs: w.spec.NumWGs}
+	m.wgWait.Add(1)
+	go func() {
+		defer m.wgWait.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSentinel); !ok {
+					panic(r)
 				}
-			}()
-			w.spec.Program(dev)
-			w.req <- request{kind: reqDone}
+			}
 		}()
-		m.receive(w)
-	})
+		w.spec.Program(dev)
+		w.req <- request{kind: reqDone}
+	}()
+	m.receive(w)
 }
 
 // runCompute advances w through cycles of computation, re-sampling the

@@ -187,7 +187,9 @@ func (s *scheduler) kick() {
 		return
 	}
 	s.kickQueued = true
-	s.m.eng.After(0, s.kickFn)
+	// Same-cycle continuation, stated explicitly: the dispatcher pass runs
+	// after the current event completes but before the clock advances.
+	s.m.eng.At(s.m.eng.Now(), s.kickFn)
 }
 
 // pickCU chooses a CU for w, preferring its home group for local-scope
@@ -278,6 +280,7 @@ func (s *scheduler) issueFactor(w *WG) event.Cycle {
 		return 1
 	}
 	executing := 0
+	//lint:allow simdeterminism commutative integer sum; Wavefronts is a pure function of the immutable spec
 	for _, r := range s.cus[w.cu].resident {
 		if !r.stalled && r.state == StateResident {
 			executing += r.spec.Wavefronts(s.m.cfg.SIMDWidth)

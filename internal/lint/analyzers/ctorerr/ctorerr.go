@@ -1,0 +1,126 @@
+// Package ctorerr reports discarded error results from New* constructors.
+//
+// PR 2 converted the config-validation panics in syncmon/cp/mem into
+// constructor errors (`New... (T, error)`). A caller that discards the
+// error — `m, _ := New(...)` or a bare call statement — silently
+// reintroduces the panic it replaced: the component is built on an invalid
+// config and fails later, far from the cause. The analyzer flags any call
+// to a function or method named New or New<Upper>... whose final result is
+// an error, when that error lands in a blank identifier or the call's
+// results are dropped entirely.
+package ctorerr
+
+import (
+	"go/ast"
+	"go/types"
+	"unicode"
+	"unicode/utf8"
+
+	"awgsim/internal/lint/analysis"
+)
+
+// Analyzer is the ctorerr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctorerr",
+	Doc:  "report discarded error results from New* constructors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := ctorWithError(pass, call); ok {
+						pass.ReportRangef(call, "result of %s dropped: its error reports an invalid config "+
+							"that previously panicked; handle it", name)
+					}
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.GoStmt:
+				if name, ok := ctorWithError(pass, n.Call); ok {
+					pass.ReportRangef(n.Call, "result of %s dropped in go statement; handle its error", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := ctorWithError(pass, n.Call); ok {
+					pass.ReportRangef(n.Call, "result of %s dropped in defer statement; handle its error", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkAssign flags `x, _ := New(...)` forms: the constructor's error
+// position assigned to blank.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Only the single-call multi-assign form can discard a trailing error:
+	//   a, b := New(...)
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(as.Lhs) < 2 {
+		return
+	}
+	name, ok := ctorWithError(pass, call)
+	if !ok {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	pass.ReportRangef(last, "error from %s discarded with blank identifier; "+
+		"an invalid config now fails silently instead of at construction", name)
+}
+
+// ctorWithError reports whether call invokes a New*-named function whose
+// last result is an error, returning a display name.
+func ctorWithError(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	if !isNewName(id.Name) {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() < 2 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name, true
+}
+
+// isNewName matches New, NewFoo, New_... — the constructor convention.
+func isNewName(s string) bool {
+	if s == "New" {
+		return true
+	}
+	if len(s) <= 3 || s[:3] != "New" {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(s[3:])
+	return unicode.IsUpper(r) || r == '_'
+}

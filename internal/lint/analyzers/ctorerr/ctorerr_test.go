@@ -1,0 +1,12 @@
+package ctorerr_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/ctorerr"
+)
+
+func TestCtorErr(t *testing.T) {
+	analysistest.Run(t, ctorerr.Analyzer, "ctor")
+}

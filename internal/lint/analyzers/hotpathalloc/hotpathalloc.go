@@ -1,0 +1,152 @@
+// Package hotpathalloc guards the event-engine hot path against the
+// per-event closure allocations PR 3 removed.
+//
+// Scheduling a capturing func literal on the engine allocates a closure
+// (and often a heap-escaped context) for every event. On the simulator's
+// highest-rate paths — CU issue, bank service, wake delivery — that cost a
+// 4–7x slowdown before pooled event.Task replaced it. The analyzer flags a
+// capturing function literal passed directly to Engine.At / After /
+// AtTask / AfterTask (or to Engine.NewTask) inside the hot-path packages
+// (internal/gpu, internal/syncmon, internal/policy).
+//
+// The sanctioned patterns remain available:
+//   - pooled tasks: e.NewTask(topLevelFunc) with arguments in Env/I slots;
+//   - episode hoisting: build the closure once per wait episode, then pass
+//     the identifier on every retry (only literals at the call site are
+//     flagged);
+//   - non-capturing literals, which the compiler allocates once.
+//
+// Genuinely cold scheduling sites in these packages carry a
+// `//lint:allow hotpathalloc <reason>` directive.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"awgsim/internal/lint/analysis"
+)
+
+// Analyzer is the hotpathalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid capturing closure literals scheduled on the event engine in hot-path packages",
+	Run:  run,
+}
+
+// hotPackages are the package-path suffixes whose scheduling sites are on
+// (or adjacent to) the event hot path. Suffix matching keeps the analyzer
+// testable from analysistest testdata packages of the same name.
+var hotPackages = []string{"/gpu", "/syncmon", "/policy"}
+
+// schedMethods are the event.Engine methods that place work on the
+// calendar (NewTask included: a capturing TaskFunc defeats pooling).
+var schedMethods = map[string]bool{
+	"At": true, "After": true, "AtTask": true, "AfterTask": true, "NewTask": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := engineSchedCall(pass, call)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if capt := captured(pass, lit); len(capt) > 0 {
+					pass.Report(analysis.Diagnostic{
+						Pos: lit.Pos(), End: lit.Type.End(),
+						Message: "capturing closure (" + strings.Join(capt, ", ") + ") scheduled via Engine." +
+							name + " allocates per event; use a pooled Task (Engine.NewTask + Env/I slots) " +
+							"or hoist the closure out of the per-event path",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func inScope(path string) bool {
+	for _, s := range hotPackages {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// engineSchedCall reports whether call invokes a scheduling method on
+// *event.Engine (matched by type name, so testdata stand-ins work) and
+// returns the method name.
+func engineSchedCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !schedMethods[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Engine" {
+		return "", false
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || !strings.HasSuffix(pkg.Path(), "event") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// captured returns the names of free variables the literal captures:
+// objects used inside the body but declared outside it (and not at package
+// scope — package-level vars don't force a closure context allocation per
+// schedule... they do force a closure, but a shared static one).
+func captured(pass *analysis.Pass, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Package-level variables are not per-call captures.
+		if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the literal (params, locals)
+		}
+		if !seen[obj.Name()] {
+			seen[obj.Name()] = true
+			names = append(names, obj.Name())
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "gpu")
+}

@@ -1,0 +1,33 @@
+// Package gpu seeds hot-path scheduling sites: its package-path suffix
+// puts it in the analyzer's scope, and the event stand-in's Engine matches
+// the scheduling-method signatures.
+package gpu
+
+import "awgsim/internal/lint/analyzers/hotpathalloc/testdata/src/event"
+
+type machine struct {
+	eng *event.Engine
+	n   int
+}
+
+func (m *machine) perEventClosures(w int) {
+	m.eng.After(3, func() { m.n += w }) // want `capturing closure \(m, w\) scheduled via Engine\.After`
+	m.eng.At(1, func() { m.n++ })       // want `capturing closure \(m\) scheduled via Engine\.At`
+}
+
+func (m *machine) sanctioned() {
+	m.eng.At(1, func() { println("static") }) // non-capturing literal: allocated once
+
+	hoisted := func() { m.n++ } // built once per episode, identifier at the call site
+	m.eng.After(2, hoisted)
+
+	t := m.eng.NewTask(runStep) // pooled task with a top-level callee
+	t.Env[0] = m
+	m.eng.AfterTask(4, t)
+}
+
+func (m *machine) capturingTaskFunc() {
+	m.eng.NewTask(func(t *event.Task) { m.n++ }) // want `capturing closure \(m\) scheduled via Engine\.NewTask`
+}
+
+func runStep(t *event.Task) { t.Env[0].(*machine).n++ }

@@ -1,0 +1,262 @@
+// Package nilness is a reduced, syntax-directed reimplementation of the
+// x/tools nilness analyzer (which is SSA-based and unavailable offline —
+// this module builds without external dependencies).
+//
+// It reports the two highest-signal shapes:
+//
+//  1. Dereference of a variable inside the body of `if x == nil { ... }`
+//     (field access, method call, index, call, or explicit *x) before any
+//     reassignment of x in that body.
+//
+//  2. Dereference of a local declared `var x *T` (or assigned a literal
+//     nil) with no intervening reassignment in the same statement list.
+//
+// Unlike the SSA version it does not track flow through loops, phi nodes,
+// or interprocedural facts; it trades completeness for zero dependencies.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"awgsim/internal/lint/analysis"
+)
+
+// Analyzer is the reduced nilness analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report dereferences of provably nil pointers (reduced, syntax-directed port)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				checkNilGuard(pass, n)
+			case *ast.BlockStmt:
+				checkNilLocals(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkNilGuard handles `if x == nil { ...use of x... }`.
+func checkNilGuard(pass *analysis.Pass, ifs *ast.IfStmt) {
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return
+	}
+	var target *ast.Ident
+	switch {
+	case isNilIdent(pass, bin.Y):
+		target, _ = bin.X.(*ast.Ident)
+	case isNilIdent(pass, bin.X):
+		target, _ = bin.Y.(*ast.Ident)
+	}
+	if target == nil {
+		return
+	}
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil || !isPointerish(obj.Type()) {
+		return
+	}
+	reportDerefs(pass, ifs.Body.List, obj, "nil-checked immediately above")
+}
+
+// checkNilLocals handles statement lists beginning `var x *T` / `x = nil`.
+func checkNilLocals(pass *analysis.Pass, block *ast.BlockStmt) {
+	for i, s := range block.List {
+		obj := nilDeclared(pass, s)
+		if obj == nil {
+			continue
+		}
+		reportDerefs(pass, block.List[i+1:], obj, "declared nil above with no intervening assignment")
+	}
+}
+
+// nilDeclared returns the object a statement leaves provably nil:
+// `var x *T` with no initializer, or `x = nil` / `x := (*T)(nil)`.
+func nilDeclared(pass *analysis.Pass, s ast.Stmt) types.Object {
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR || len(gd.Specs) != 1 {
+			return nil
+		}
+		vs, ok := gd.Specs[0].(*ast.ValueSpec)
+		if !ok || len(vs.Values) != 0 || len(vs.Names) != 1 {
+			return nil
+		}
+		obj := pass.TypesInfo.Defs[vs.Names[0]]
+		if obj != nil && isPointer(obj.Type()) {
+			return obj
+		}
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 || !isNilIdent(pass, s.Rhs[0]) {
+			return nil
+		}
+		id, ok := s.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj != nil && isPointer(obj.Type()) {
+			return obj
+		}
+	}
+	return nil
+}
+
+// reportDerefs walks stmts reporting dereferences of obj, stopping at the
+// first reassignment (or address-taking, which may feed a setter). Guarded
+// uses are respected: the right side of `x == nil || ...` and `x != nil &&
+// ...` short-circuits, and the body of `if x != nil { ... }`, only execute
+// when x is non-nil.
+func reportDerefs(pass *analysis.Pass, stmts []ast.Stmt, obj types.Object, why string) {
+	stopped := false
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	// guardsNonNil reports whether cond proves obj non-nil when true:
+	// `x != nil` itself, or a conjunction whose left side does.
+	var guardsNonNil func(cond ast.Expr) bool
+	guardsNonNil = func(cond ast.Expr) bool {
+		switch c := cond.(type) {
+		case *ast.ParenExpr:
+			return guardsNonNil(c.X)
+		case *ast.BinaryExpr:
+			if c.Op == token.NEQ && (isObj(c.X) && isNilIdent(pass, c.Y) || isObj(c.Y) && isNilIdent(pass, c.X)) {
+				return true
+			}
+			if c.Op == token.LAND {
+				return guardsNonNil(c.X) || guardsNonNil(c.Y)
+			}
+		}
+		return false
+	}
+	guardsNil := func(cond ast.Expr) bool {
+		c, ok := cond.(*ast.BinaryExpr)
+		return ok && c.Op == token.EQL &&
+			(isObj(c.X) && isNilIdent(pass, c.Y) || isObj(c.Y) && isNilIdent(pass, c.X))
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if stopped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isObj(lhs) {
+					stopped = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && isObj(n.X) {
+				stopped = true
+				return false
+			}
+		case *ast.FuncLit:
+			return false // separate frame; flow unknown
+		case *ast.BinaryExpr:
+			// `x == nil || use(x)` / `x != nil && use(x)`: the right side
+			// only runs when x is non-nil.
+			if n.Op == token.LOR && guardsNil(n.X) || n.Op == token.LAND && guardsNonNil(n.X) {
+				ast.Inspect(n.X, visit)
+				return false
+			}
+		case *ast.IfStmt:
+			if n.Init == nil && guardsNonNil(n.Cond) {
+				// The guarded body may use x freely; the else branch (and
+				// statements after, via the outer walk) may not.
+				ast.Inspect(n.Cond, visit)
+				if n.Else != nil {
+					ast.Inspect(n.Else, visit)
+				}
+				return false
+			}
+		}
+		if id, base := derefBase(n); id != nil && pass.TypesInfo.Uses[id] == obj {
+			pass.ReportRangef(base, "%s of nil pointer %s (%s)", derefKind(base), obj.Name(), why)
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, s := range stmts {
+		if stopped {
+			return
+		}
+		ast.Inspect(s, visit)
+	}
+}
+
+// derefBase returns (ident, node) when n dereferences a plain identifier:
+// x.f (pointer receiver field), *x, x[i], x(...).
+func derefBase(n ast.Node) (*ast.Ident, ast.Node) {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := n.X.(*ast.Ident); ok {
+			return id, n
+		}
+	case *ast.StarExpr:
+		if id, ok := n.X.(*ast.Ident); ok {
+			return id, n
+		}
+	case *ast.IndexExpr:
+		if id, ok := n.X.(*ast.Ident); ok {
+			return id, n
+		}
+	}
+	return nil, nil
+}
+
+func derefKind(n ast.Node) string {
+	switch n.(type) {
+	case *ast.SelectorExpr:
+		return "field or method access"
+	case *ast.StarExpr:
+		return "dereference"
+	case *ast.IndexExpr:
+		return "index"
+	}
+	return "use"
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// isPointer: a plain *T.
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// isPointerish: types whose nil value faults on dereference-like use.
+// Maps are excluded (nil map reads are defined); interfaces excluded
+// (method sets may be value-receiver on a typed-nil — the guard-then-call
+// shape is still a likely bug for *T but not provable for interfaces
+// without SSA).
+func isPointerish(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, nilness.Analyzer, "nilcheck")
+}

@@ -1,0 +1,70 @@
+// Package nilcheck seeds the two nilness report shapes and the guarded
+// idioms the reduced analyzer must stay quiet on.
+package nilcheck
+
+type node struct {
+	next *node
+	v    int
+}
+
+func guardDeref(n *node) {
+	if n == nil {
+		n.v = 1 // want `field or method access of nil pointer n`
+	}
+}
+
+func guardSliceIndex(s []int) int {
+	if s == nil {
+		return s[0] // want `index of nil pointer s`
+	}
+	return 0
+}
+
+func localNil() {
+	var p *node
+	p.v = 2 // want `field or method access of nil pointer p`
+}
+
+func assignedNil(q *node) {
+	q = nil
+	_ = q.next // want `field or method access of nil pointer q`
+}
+
+// narrowestGuard is the `best == nil || use(best)` idiom: the right side of
+// the short-circuit only runs when best is non-nil.
+func narrowestGuard(list []*node) *node {
+	var best *node
+	for _, n := range list {
+		if best == nil || n.v < best.v {
+			best = n
+		}
+	}
+	return best
+}
+
+func ifGuard() {
+	var p *node
+	if p != nil {
+		p.v = 3 // guarded: fine
+	}
+}
+
+func andGuard(m map[int]*node) {
+	var p *node
+	if p != nil && p.v > 0 { // short-circuit guard: fine
+		return
+	}
+	_ = m
+}
+
+func assignedFirst() {
+	var p *node
+	p = &node{}
+	p.v = 4 // reassigned above: fine
+}
+
+func addressTaken(fill func(**node)) {
+	var p *node
+	fill(&p)
+	p.v = 5 // may have been set through the pointer: fine
+}

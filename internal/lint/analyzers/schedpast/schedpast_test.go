@@ -1,0 +1,12 @@
+package schedpast_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/schedpast"
+)
+
+func TestSchedPast(t *testing.T) {
+	analysistest.Run(t, schedpast.Analyzer, "sched")
+}

@@ -1,0 +1,131 @@
+// Package shadow is a from-source reimplementation of the vet/x/tools
+// shadow analyzer (unavailable offline; this module builds without
+// external dependencies), using the same reporting heuristic.
+//
+// A declaration `x := ...` that shadows an outer function-scope x is only
+// reported when it can plausibly change behavior: the outer variable must
+// be referenced again after the inner declaration appears (otherwise the
+// shadow is dead and harmless — the idiomatic `err := ...` inside a branch
+// stays quiet). Package-level names and the blank identifier are never
+// considered.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"awgsim/internal/lint/analysis"
+)
+
+// Analyzer is the shadow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "report declarations that shadow an outer variable still used afterwards",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Collect every use position of every variable, so the "outer variable
+	// used after the shadow" heuristic has the data it needs; also collect
+	// the identifiers that cannot meaningfully shadow anything — parameter
+	// names of bodiless function types (type expressions declare no code)
+	// and the `x := x` rebinding idiom (the shadow is the point).
+	uses := map[types.Object][]ast.Node{}
+	skip := map[*ast.Ident]bool{}
+	bodied := map[*ast.FuncType]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj, ok := pass.TypesInfo.Uses[n].(*types.Var); ok {
+					uses[obj] = append(uses[obj], n)
+				}
+			case *ast.FuncDecl:
+				bodied[n.Type] = true
+			case *ast.FuncLit:
+				bodied[n.Type] = true
+			case *ast.FuncType:
+				if !bodied[n] {
+					markTypeParams(n, skip)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					if l, ok := n.Lhs[0].(*ast.Ident); ok {
+						if r, ok := n.Rhs[0].(*ast.Ident); ok && l.Name == r.Name {
+							skip[l] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name == "_" || skip[id] {
+				return true
+			}
+			inner, ok := pass.TypesInfo.Defs[id].(*types.Var)
+			if !ok || inner.IsField() {
+				return true
+			}
+			checkShadow(pass, id, inner, uses)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// markTypeParams adds ft's parameter/result names to skip: ft is a bare
+// type expression (a func type in a field, type assertion, or variable
+// declaration) whose names bind no code and so cannot cause a behavioral
+// shadow. FuncDecl/FuncLit nodes are visited before their Type child, so
+// bodied signatures are excluded via the bodied set before reaching here.
+func markTypeParams(ft *ast.FuncType, skip map[*ast.Ident]bool) {
+	for _, fl := range []*ast.FieldList{ft.Params, ft.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				skip[name] = true
+			}
+		}
+	}
+}
+
+func checkShadow(pass *analysis.Pass, id *ast.Ident, inner *types.Var, uses map[types.Object][]ast.Node) {
+	// Find the scope in which the declaration appears and look the name up
+	// starting from its *parent*, so we find what the new declaration hides.
+	scope := pass.Pkg.Scope().Innermost(id.Pos())
+	if scope == nil {
+		return
+	}
+	_, outerObj := scope.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer == inner {
+		return
+	}
+	// Only function-scope shadows: hiding a package-level or universe name
+	// is a different (and much noisier) class.
+	if outer.Parent() == nil || outer.Pkg() == nil || outer.Parent() == outer.Pkg().Scope() {
+		return
+	}
+	// Heuristic (vet's): the outer variable must be used again at or after
+	// the inner declaration; a shadow nothing reads past is harmless.
+	usedAfter := false
+	for _, u := range uses[outer] {
+		if u.Pos() > id.Pos() {
+			usedAfter = true
+			break
+		}
+	}
+	if !usedAfter {
+		return
+	}
+	outerPos := pass.Fset.Position(outer.Pos())
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d; the outer %s is read again after this point",
+		id.Name, outerPos.Line, id.Name)
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, shadow.Analyzer, "shadowed")
+}

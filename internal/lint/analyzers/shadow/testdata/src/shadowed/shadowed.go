@@ -1,0 +1,51 @@
+// Package shadowed seeds behavioral shadows (outer variable read again
+// after the inner declaration) and the harmless idioms the analyzer must
+// stay quiet on.
+package shadowed
+
+func reported(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := x * 2 // want `declaration of "total" shadows declaration at line 7`
+			_ = total
+		}
+	}
+	return total
+}
+
+func errShadow(get func() (int, error)) error {
+	v, err := get()
+	if v > 0 {
+		v, err := get() // want `declaration of "v" shadows declaration at line 18` `declaration of "err" shadows declaration at line 18`
+		_, _ = v, err
+	}
+	_ = v
+	return err
+}
+
+func deadShadow(xs []int) {
+	v := 1
+	_ = v
+	if len(xs) > 0 {
+		v := 2 // outer v never read after this point: quiet
+		_ = v
+	}
+}
+
+func rebind(fs []func()) {
+	for _, f := range fs {
+		f := f // the x := x pinning idiom: quiet
+		defer f()
+	}
+}
+
+// bareTypeParams mirrors the gpu/atomics.go shape: parameter names inside a
+// func *type* expression bind no code and cannot shadow.
+func bareTypeParams(env any) int64 {
+	old := int64(1)
+	if fn, ok := env.(func(old, new int64)); ok { // quiet: type-assertion param names
+		fn(old, old)
+	}
+	return old
+}

@@ -1,0 +1,45 @@
+// Package cp seeds single-home violations against a stand-in for the CP's
+// spilled-condition table.
+package cp
+
+type cond struct {
+	addr int64
+	want int64
+}
+
+// Processor mirrors the CP's protected table state.
+type Processor struct {
+	table   map[int64]*cond
+	order   []int64
+	inTable map[int64]bool
+	addrs   map[int64]int
+	removed map[int64]bool
+}
+
+func New() *Processor {
+	return &Processor{
+		table:   map[int64]*cond{},
+		inTable: map[int64]bool{},
+		addrs:   map[int64]int{},
+		removed: map[int64]bool{},
+	}
+}
+
+// dropCond is an approved transfer function: splicing here is sanctioned.
+func (p *Processor) dropCond(id int64, i int) {
+	delete(p.table, id)
+	delete(p.inTable, id)
+	p.order = append(p.order[:i], p.order[i+1:]...)
+}
+
+// checkPass is not approved to splice the walk order directly — it must
+// route removals through dropCond.
+func (p *Processor) checkPass() {
+	for i, id := range p.order {
+		if c, ok := p.table[id]; ok && c.addr == c.want {
+			p.order = append(p.order[:i], p.order[i+1:]...) // want `Processor\.order holds single-home waiter state`
+			p.removed[id] = true                            // want `Processor\.removed holds single-home waiter state`
+			break
+		}
+	}
+}

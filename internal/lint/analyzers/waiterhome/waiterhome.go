@@ -1,0 +1,209 @@
+// Package waiterhome mechanizes the single-home rule: a waiter lives in
+// exactly one of the SyncMon condition cache, the Monitor Log ring, or the
+// CP spilled-condition table.
+//
+// PR 3 fixed two lost-wakeup bugs that were both violations of this rule —
+// sm.Unregister tombstoning the ring behind the CP's back, and
+// cp.Unregister recording a stale removed-tombstone after the ring entry
+// was already consumed. The rule cannot be checked dynamically without the
+// failing schedule in hand, but its structural precondition can: waiter
+// state moves only through a small set of named transfer functions, so any
+// direct mutation of the underlying containers from other code is a bug in
+// the making.
+//
+// The analyzer restricts writes (assignment, ++/--, delete, splice-append)
+// to the protected fields below to their approved transfer functions.
+// Reads are unrestricted. A function literal defined inside an approved
+// function inherits its approval.
+package waiterhome
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"awgsim/internal/lint/analysis"
+)
+
+// Analyzer is the waiterhome analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "waiterhome",
+	Doc:  "restrict waiter-state mutation to the approved single-home transfer functions",
+	Run:  run,
+}
+
+// home describes one protected container: the owning type (matched by
+// package-path suffix + type name, so testdata stand-ins work), the fields
+// holding waiter state, and the functions allowed to mutate them.
+type home struct {
+	pkgSuffix string
+	typeName  string
+	fields    map[string]bool
+	approved  map[string]bool // enclosing function names (methods or frees)
+}
+
+var homes = []home{
+	{
+		// SyncMon condition cache: conditions, waiters, and the indexes
+		// over them move together through registration/wake/evict paths.
+		pkgSuffix: "/syncmon", typeName: "SyncMon",
+		fields: map[string]bool{
+			"sets": true, "waiters": true, "byAddr": true,
+			"monitored": true, "conds": true,
+		},
+		approved: map[string]bool{
+			"New": true, "Register": true, "Unregister": true,
+			"dropEntry": true, "observe": true, "wakeAllOnAddr": true,
+			"Degrade": true,
+		},
+	},
+	{
+		// A condition entry's waiter queue is part of the cache home.
+		pkgSuffix: "/syncmon", typeName: "condEntry",
+		fields: map[string]bool{"waiters": true},
+		approved: map[string]bool{
+			"Register": true, "Unregister": true, "observe": true,
+			"wakeAllOnAddr": true, "Degrade": true, "dropEntry": true,
+		},
+	},
+	{
+		// Monitor Log ring state: only the ring's own accessors may touch
+		// slots, tombstones, or occupancy — sm/cp code goes through
+		// Push/Pop/Remove.
+		pkgSuffix: "/syncmon", typeName: "MonitorLog",
+		fields: map[string]bool{
+			"entries": true, "dead": true, "head": true,
+			"size": true, "live": true, "maxLive": true,
+		},
+		approved: map[string]bool{
+			"NewMonitorLog": true, "Push": true, "Pop": true, "Remove": true,
+		},
+	},
+	{
+		// CP spilled-condition table, its walk order, the address index,
+		// and the in-flight removed-tombstones.
+		pkgSuffix: "/cp", typeName: "Processor",
+		fields: map[string]bool{
+			"table": true, "order": true, "inTable": true,
+			"addrs": true, "removed": true,
+		},
+		approved: map[string]bool{
+			"New": true, "Unregister": true, "drainPass": true,
+			"dropCond": true, "runCheckResult": true,
+		},
+	},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, fd, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, fd, n.X)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB && len(n.Args) > 0 {
+					checkWrite(pass, fd, n.Args[0])
+				}
+			}
+			// &s.field escaping into a call could alias the container, but
+			// every legitimate use in-tree passes values; taking the
+			// address of protected state is treated as a write.
+			for _, arg := range n.Args {
+				if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					checkWrite(pass, fd, u.X)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite reports lhs when it denotes (or indexes into) a protected
+// field and fd is not approved for it.
+func checkWrite(pass *analysis.Pass, fd *ast.FuncDecl, lhs ast.Expr) {
+	// Unwrap indexing/slicing: writing s.sets[i] (or through it) mutates
+	// the container rooted at the field selector.
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.SliceExpr:
+			lhs = e.X
+			continue
+		case *ast.ParenExpr:
+			lhs = e.X
+			continue
+		case *ast.StarExpr:
+			lhs = e.X
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return
+	}
+	owner := ownerNamed(selection.Recv())
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return
+	}
+	for _, h := range homes {
+		if !strings.HasSuffix(owner.Obj().Pkg().Path(), h.pkgSuffix) ||
+			owner.Obj().Name() != h.typeName || !h.fields[field.Name()] {
+			continue
+		}
+		if h.approved[fd.Name.Name] {
+			return
+		}
+		pass.ReportRangef(sel, "%s.%s holds single-home waiter state; only %s may mutate it (got %s) — "+
+			"route the transfer through an approved function so the waiter cannot end up in two homes",
+			h.typeName, field.Name(), approvedList(h), fd.Name.Name)
+		return
+	}
+}
+
+func ownerNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func approvedList(h home) string {
+	names := make([]string, 0, len(h.approved))
+	for n := range h.approved {
+		names = append(names, n)
+	}
+	// Deterministic message ordering.
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}

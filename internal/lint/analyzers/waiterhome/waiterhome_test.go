@@ -1,0 +1,12 @@
+package waiterhome_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/waiterhome"
+)
+
+func TestWaiterHome(t *testing.T) {
+	analysistest.Run(t, waiterhome.Analyzer, "syncmon", "cp")
+}

@@ -1,0 +1,17 @@
+// Package dirs exercises //lint:allow directive handling at the checker
+// layer: trailing and line-above suppression, unknown analyzer names, and
+// missing reasons.
+package dirs
+
+import "time"
+
+var a = time.Now() //lint:allow simdeterminism sanctioned wall clock, suppressed on the same line
+
+//lint:allow simdeterminism suppression also covers the next line
+var b = time.Now()
+
+var c = time.Now() //lint:allow nosuchanalyzer a typo must not silently suppress
+
+var d = time.Now() //lint:allow simdeterminism
+
+var e = time.Now()

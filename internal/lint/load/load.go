@@ -1,0 +1,211 @@
+// Package load type-checks Go packages for the lint driver without any
+// dependency outside the standard library and the go command.
+//
+// `go list -deps -json` (offline: every import resolves in-module or to
+// GOROOT) yields the transitive package graph in dependency-first order;
+// each package is then parsed and type-checked from source, with
+// already-checked dependencies supplied through a map-backed importer. This
+// replaces golang.org/x/tools/go/packages, which is unavailable in this
+// build environment.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package.
+type Package struct {
+	PkgPath  string
+	Dir      string
+	GoFiles  []string // absolute paths, non-test files only
+	Standard bool     // GOROOT package
+	Module   bool     // belongs to the module being linted
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects soft type-checking problems. Module packages are
+	// expected to be error-free (the tree builds); seeded lint testdata may
+	// reference only in-module and stdlib identifiers, so errors here mean
+	// the testdata itself is broken.
+	TypeErrors []error
+}
+
+// listed mirrors the go list -json fields we consume.
+type listed struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns from dir (the module root when empty) and returns the
+// type-checked packages the patterns matched, in deterministic (import
+// path) order. Dependencies are checked too but not returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	// Decode the JSON stream. go list -deps emits dependencies before
+	// dependents, so a single forward pass can type-check everything.
+	var order []*listed
+	byPath := map[string]*listed{}
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var l listed
+		if err := dec.Decode(&l); err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		order = append(order, &l)
+		byPath[l.ImportPath] = &l
+	}
+
+	// The roots (the packages the patterns actually matched) are the trailing
+	// entries go list prints after their dependencies; recompute them instead
+	// by re-listing without -deps, which is cheap and unambiguous.
+	rootsCmd := exec.Command("go", append([]string{"list", "-e"}, patterns...)...)
+	rootsCmd.Dir = dir
+	rootsOut, err := rootsCmd.Output()
+	roots := map[string]bool{}
+	if err == nil {
+		for _, p := range strings.Fields(string(rootsOut)) {
+			roots[p] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	typed := map[string]*types.Package{"unsafe": types.Unsafe}
+	pkgs := map[string]*Package{}
+	imp := &mapImporter{typed: typed}
+
+	var result []*Package
+	for _, l := range order {
+		if l.ImportPath == "unsafe" {
+			continue
+		}
+		if l.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", l.ImportPath, l.Error.Err)
+		}
+		p, err := check(fset, l, imp)
+		if err != nil {
+			return nil, err
+		}
+		typed[l.ImportPath] = p.Types
+		pkgs[l.ImportPath] = p
+		if roots[l.ImportPath] {
+			result = append(result, p)
+		}
+	}
+	if len(result) == 0 {
+		// go list without -deps failed (or matched nothing): fall back to
+		// every non-standard package listed.
+		for _, l := range order {
+			if p := pkgs[l.ImportPath]; p != nil && !p.Standard {
+				result = append(result, p)
+			}
+		}
+	}
+	sort.Slice(result, func(i, j int) bool { return result[i].PkgPath < result[j].PkgPath })
+	return result, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, l *listed, imp *mapImporter) (*Package, error) {
+	p := &Package{
+		PkgPath:  l.ImportPath,
+		Dir:      l.Dir,
+		Standard: l.Standard,
+		Module:   l.Module != nil,
+		Fset:     fset,
+	}
+	for _, f := range l.GoFiles {
+		p.GoFiles = append(p.GoFiles, filepath.Join(l.Dir, f))
+	}
+	for _, path := range p.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	cfg := types.Config{
+		Importer: imp.forPackage(l),
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	tp, err := cfg.Check(l.ImportPath, fset, p.Files, p.Info)
+	p.Types = tp
+	// Hard failures in standard-library internals don't block linting the
+	// module; only surface errors for module packages, whose source must be
+	// sound for analyzer results to mean anything.
+	if err != nil && !l.Standard {
+		return nil, fmt.Errorf("type-checking %s: %v", l.ImportPath, err)
+	}
+	return p, nil
+}
+
+// mapImporter resolves imports from the already-type-checked set, applying
+// the per-package ImportMap (vendor/ or version rewrites from go list).
+type mapImporter struct {
+	typed map[string]*types.Package
+}
+
+type scopedImporter struct {
+	*mapImporter
+	importMap map[string]string
+}
+
+func (m *mapImporter) forPackage(l *listed) types.ImporterFrom {
+	return &scopedImporter{mapImporter: m, importMap: l.ImportMap}
+}
+
+func (s *scopedImporter) Import(path string) (*types.Package, error) {
+	return s.ImportFrom(path, "", 0)
+}
+
+func (s *scopedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := s.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := s.typed[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("load: import %q not in dependency graph", path)
+}
