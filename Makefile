@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint lint-fix fuzz ci bench exp quick
+.PHONY: all build test race vet fmt lint lint-fix fuzz ci bench benchdiff exp quick
 
 all: build
 
@@ -35,11 +35,13 @@ lint-fix:
 
 # fuzz runs short native-fuzzing smokes: random fault schedules through a
 # small oversubscribed sim with the IFP invariant enforced on every outcome,
-# and random schedule/run interleavings through the event-engine calendar
-# checked against a reference heap oracle.
+# random schedule/run interleavings through the event-engine calendar
+# checked against a reference heap oracle, and random condition-cache op
+# streams diffed against a map-based oracle of the slab condition store.
 fuzz:
 	$(GO) test ./internal/fault -fuzz FuzzSchedule -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/event -fuzz FuzzCalendar -fuzztime 5s -run '^$$'
+	$(GO) test ./internal/syncmon -fuzz FuzzCondStore -fuzztime 5s -run '^$$'
 
 # golden regenerates the quick experiment suite and fails if any
 # deterministic output (simulated cycles, runs, rendered tables) drifts
@@ -51,8 +53,10 @@ golden:
 # ci is the full gate: formatting, static checks (go vet plus the awglint
 # domain analyzers), the race-instrumented test suite (which exercises the
 # parallel experiment pool), the fuzz smokes, and the golden-record drift
-# check.
+# check. benchdiff is advisory (leading -): the trajectory spans machines,
+# so a wall-clock delta is a prompt to look, not a gate.
 ci: fmt vet lint race fuzz golden
+	-$(GO) run ./cmd/benchdiff
 
 # bench appends a perf-trajectory entry to BENCH_results.json and runs the
 # hot-path benchmarks: the event-engine calendar microbenchmarks and the
@@ -61,6 +65,11 @@ bench:
 	$(GO) run ./cmd/awgexp -quick -json BENCH_results.json > /dev/null
 	$(GO) test ./internal/event -bench 'BenchmarkEngine' -benchmem -run '^$$'
 	$(GO) test . -bench 'BenchmarkFig15Oversubscribed|BenchmarkFaults' -benchmem -run '^$$'
+
+# benchdiff compares the two newest trajectory entries and exits non-zero
+# on a >10% total wall-clock regression.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
 
 # exp/quick print the full and reduced-scale experiment suites.
 exp:

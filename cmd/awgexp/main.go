@@ -11,7 +11,12 @@
 //	awgexp -golden GOLDEN.json   # fail if outputs drift from the golden record
 //	awgexp -golden GOLDEN.json -update-golden   # rewrite the golden record
 //	awgexp -cpuprofile cpu.out   # profile the suite (see README, Profiling)
+//	awgexp -nodedupe             # simulate every run, even repeated configs
 //	awgexp -list
+//
+// Identical declarative configs recurring across experiments simulate
+// once and replay from the run cache (outputs are bit-identical either
+// way); -nodedupe opts out.
 //
 // A failing experiment no longer aborts the suite: its error is reported,
 // the remaining experiments still run, and awgexp exits non-zero at the
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"time"
 
@@ -39,7 +45,12 @@ type benchEntry struct {
 	WallSecs  float64 `json:"wall_secs"`
 	SimCycles uint64  `json:"sim_cycles"` // simulated cycles across the experiment's runs
 	SimRuns   uint64  `json:"sim_runs"`
-	Error     string  `json:"error,omitempty"`
+	CacheHits uint64  `json:"cache_hits"` // runs replayed from the dedupe cache (counted in sim_runs)
+	// Host allocator pressure per accounted run (runtime.ReadMemStats
+	// deltas across the experiment): the hot-state trajectory metric.
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	BytesPerRun  float64 `json:"bytes_per_run"`
+	Error        string  `json:"error,omitempty"`
 }
 
 // benchReport is one -json trajectory entry: a perf snapshot of the
@@ -54,6 +65,7 @@ type benchReport struct {
 	TotalSecs   float64      `json:"total_secs"`
 	TotalCycles uint64       `json:"total_cycles"`
 	TotalRuns   uint64       `json:"total_runs"`
+	CacheHits   uint64       `json:"cache_hits"`
 }
 
 // goldenEntry pins one experiment's deterministic outputs: the simulated
@@ -82,8 +94,19 @@ func main() {
 		updGolden  = flag.Bool("update-golden", false, "rewrite the -golden file from this run instead of comparing")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 		memprofile = flag.String("memprofile", "", "write a heap allocation profile to this file at exit")
+		nodedupe   = flag.Bool("nodedupe", false, "disable run deduplication: simulate every job even when an identical Config already ran this invocation")
 	)
 	flag.Parse()
+	if *nodedupe {
+		sim.SetDedupe(false)
+	}
+	// awgexp is a short-lived batch process whose live heap is dominated by
+	// in-flight simulation events (saturated runs queue 100k+ pooled tasks);
+	// trade heap headroom for fewer GC mark cycles over that backlog. GOGC
+	// in the environment still wins if set.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -130,10 +153,14 @@ func main() {
 	record := goldenFile{Quick: *quick}
 	var failures []string
 	suiteStart := time.Now() //lint:allow simdeterminism wall time for the bench trajectory only
+	var ms0, ms1 runtime.MemStats
 	for _, e := range run {
 		start := time.Now() //lint:allow simdeterminism wall time for the bench trajectory only
 		cyc0, runs0 := sim.Totals()
+		hits0 := sim.CacheHits()
+		runtime.ReadMemStats(&ms0)
 		tab, err := e.Run(opts)
+		runtime.ReadMemStats(&ms1)
 		cyc1, runs1 := sim.Totals()
 		entry := benchEntry{
 			ID:    e.ID,
@@ -142,6 +169,11 @@ func main() {
 			WallSecs:  time.Since(start).Seconds(),
 			SimCycles: cyc1 - cyc0,
 			SimRuns:   runs1 - runs0,
+			CacheHits: sim.CacheHits() - hits0,
+		}
+		if entry.SimRuns > 0 {
+			entry.AllocsPerRun = float64(ms1.Mallocs-ms0.Mallocs) / float64(entry.SimRuns)
+			entry.BytesPerRun = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(entry.SimRuns)
 		}
 		if err != nil {
 			entry.Error = err.Error()
@@ -160,7 +192,12 @@ func main() {
 				}
 			}
 			fmt.Print(out)
-			fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, entry.WallSecs)
+			if entry.CacheHits > 0 {
+				fmt.Printf("[%s regenerated in %.1fs; %d/%d runs replayed from cache]\n\n",
+					e.ID, entry.WallSecs, entry.CacheHits, entry.SimRuns)
+			} else {
+				fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, entry.WallSecs)
+			}
 			record.Experiments = append(record.Experiments, goldenEntry{
 				ID:        e.ID,
 				SimCycles: entry.SimCycles,
@@ -175,6 +212,11 @@ func main() {
 	}
 	report.TotalSecs = time.Since(suiteStart).Seconds() //lint:allow simdeterminism wall time for the bench trajectory only
 	report.TotalCycles, report.TotalRuns = sim.Totals()
+	report.CacheHits = sim.CacheHits()
+	if report.CacheHits > 0 {
+		fmt.Fprintf(os.Stderr, "awgexp: run cache replayed %d of %d runs\n",
+			report.CacheHits, report.TotalRuns)
+	}
 
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()

@@ -18,6 +18,7 @@ package main
 import (
 	"awgsim/internal/lint/analyzers/ctorerr"
 	"awgsim/internal/lint/analyzers/hotpathalloc"
+	"awgsim/internal/lint/analyzers/hotpathmap"
 	"awgsim/internal/lint/analyzers/nilness"
 	"awgsim/internal/lint/analyzers/schedpast"
 	"awgsim/internal/lint/analyzers/shadow"
@@ -30,6 +31,7 @@ func main() {
 	checker.Main(
 		simdeterminism.Analyzer,
 		hotpathalloc.Analyzer,
+		hotpathmap.Analyzer,
 		waiterhome.Analyzer,
 		ctorerr.Analyzer,
 		schedpast.Analyzer,

@@ -61,21 +61,18 @@ type Processor struct {
 	log  *syncmon.MonitorLog
 	wake syncmon.WakeFunc
 
-	table   map[condKey][]gpu.WGID
-	order   []condKey // check order (drain arrival order)
-	rotate  int       // round-robin start offset
-	inTable int
-	maxTab  int
-	addrs   map[mem.Addr]int // conditions per monitored address in table
-
-	removed map[condKey]map[gpu.WGID]bool // tombstones from Unregister
+	tab    spillTable // slab-backed spilled-condition store
+	order  []condKey  // check order (drain arrival order)
+	rotate int        // round-robin start offset
+	maxTab int
 
 	started bool
 	stopped func() bool
 	jitter  func(base event.Cycle) event.Cycle
 
-	drainFn, checkFn func()    // hoisted loop continuations (fire every pass)
-	scratch          []condKey // checkPass walk snapshot, reused across passes
+	drainFn, checkFn func()     // hoisted loop continuations (fire every pass)
+	scratch          []condKey  // checkPass walk snapshot, reused across passes
+	wakeBuf          []gpu.WGID // met-condition waiter snapshot, reused
 }
 
 // New builds a processor draining log on machine m. wake delivers met
@@ -86,13 +83,11 @@ func New(cfg Config, m *gpu.Machine, log *syncmon.MonitorLog, wake syncmon.WakeF
 		return nil, fmt.Errorf("cp: bad config %+v", cfg)
 	}
 	return &Processor{
-		cfg:     cfg,
-		m:       m,
-		log:     log,
-		wake:    wake,
-		table:   make(map[condKey][]gpu.WGID),
-		removed: make(map[condKey]map[gpu.WGID]bool),
-		addrs:   make(map[mem.Addr]int),
+		cfg:  cfg,
+		m:    m,
+		log:  log,
+		wake: wake,
+		tab:  newSpillTable(),
 	}, nil
 }
 
@@ -129,7 +124,7 @@ func (p *Processor) Start(keepRunning func() bool) {
 }
 
 // TableSize reports current spilled conditions tracked.
-func (p *Processor) TableSize() int { return p.inTable }
+func (p *Processor) TableSize() int { return p.tab.waiters }
 
 // MaxTableSize reports the high-water mark, the "Monitor Table" series of
 // Figure 13.
@@ -145,21 +140,8 @@ func (p *Processor) MaxTableSize() int { return p.maxTab }
 // pass ever resumes it).
 func (p *Processor) Unregister(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp) {
 	k := condKey{v.Addr.WordAligned(), want, cmp}
-	if ws, ok := p.table[k]; ok {
-		for i, w := range ws {
-			if w == wg {
-				p.table[k] = append(ws[:i], ws[i+1:]...)
-				p.inTable--
-				if len(p.table[k]) == 0 {
-					delete(p.table, k)
-					p.addrs[k.addr]--
-					if p.addrs[k.addr] == 0 {
-						delete(p.addrs, k.addr)
-					}
-				}
-				return
-			}
-		}
+	if p.tab.removeWaiter(k, wg) {
+		return
 	}
 	if p.log.Remove(wg, k.addr, k.want) > 0 {
 		// Still physically in the ring; the tombstone there is consumed when
@@ -168,10 +150,7 @@ func (p *Processor) Unregister(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp) 
 	}
 	// Popped into a drain batch but not yet in the table: remember the
 	// tombstone for drain time.
-	if p.removed[k] == nil {
-		p.removed[k] = make(map[gpu.WGID]bool)
-	}
-	p.removed[k][wg] = true
+	p.tab.addTombstone(k, wg)
 }
 
 // drainPass moves log entries into the table.
@@ -185,21 +164,14 @@ func (p *Processor) drainPass() {
 			break
 		}
 		k := condKey{e.Addr, e.Want, e.Cmp}
-		if wgs := p.removed[k]; wgs[e.WG] {
-			delete(wgs, e.WG)
-			if len(wgs) == 0 {
-				delete(p.removed, k)
-			}
+		if p.tab.consumeTombstone(k, e.WG) {
 			continue
 		}
-		if len(p.table[k]) == 0 {
-			p.addrs[k.addr]++
+		if p.tab.addWaiter(k, e.WG) {
 			p.order = append(p.order, k)
 		}
-		p.table[k] = append(p.table[k], e.WG)
-		p.inTable++
-		if p.inTable > p.maxTab {
-			p.maxTab = p.inTable
+		if p.tab.waiters > p.maxTab {
+			p.maxTab = p.tab.waiters
 		}
 		p.noteHighWater()
 	}
@@ -207,35 +179,32 @@ func (p *Processor) drainPass() {
 }
 
 // dropCond removes a condition from the table, maintaining the address
-// index and check order.
-func (p *Processor) dropCond(k condKey) {
-	ws := p.table[k]
-	delete(p.table, k)
-	p.inTable -= len(ws)
-	p.addrs[k.addr]--
-	if p.addrs[k.addr] == 0 {
-		delete(p.addrs, k.addr)
-	}
+// index and check order, and returns its waiters in FIFO order (valid
+// until the next dropCond).
+func (p *Processor) dropCond(k condKey) []gpu.WGID {
+	ws := p.tab.dropWaiters(k, p.wakeBuf[:0])
+	p.wakeBuf = ws
 	for i, o := range p.order {
 		if o == k {
 			p.order = append(p.order[:i], p.order[i+1:]...)
 			break
 		}
 	}
+	return ws
 }
 
 // noteHighWater folds the CP's occupancy into the machine counters — the
 // Figure 13 series: waiting conditions, monitored addresses, waiting WGs,
 // and the monitor table.
 func (p *Processor) noteHighWater() {
-	if len(p.table) > p.m.Count.MaxConditions {
-		p.m.Count.MaxConditions = len(p.table)
+	if p.tab.condLive > p.m.Count.MaxConditions {
+		p.m.Count.MaxConditions = p.tab.condLive
 	}
-	if p.inTable > p.m.Count.MaxWaitingWGs {
-		p.m.Count.MaxWaitingWGs = p.inTable
+	if p.tab.waiters > p.m.Count.MaxWaitingWGs {
+		p.m.Count.MaxWaitingWGs = p.tab.waiters
 	}
-	if len(p.addrs) > p.m.Count.MaxMonitoredVars {
-		p.m.Count.MaxMonitoredVars = len(p.addrs)
+	if n := p.tab.monitoredAddrs(); n > p.m.Count.MaxMonitoredVars {
+		p.m.Count.MaxMonitoredVars = n
 	}
 }
 
@@ -282,11 +251,10 @@ func runCheckResult(t *event.Task) {
 	if !k.cmp.Test(t.I[gpu.AtomicRet], k.want) {
 		return
 	}
-	ws, ok := p.table[k]
-	if !ok {
+	if !p.tab.inTable(k) {
 		return
 	}
-	p.dropCond(k)
+	ws := p.dropCond(k)
 	for _, wg := range ws {
 		p.wake(wg, k.addr, k.want, true)
 	}

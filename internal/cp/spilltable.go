@@ -1,0 +1,276 @@
+package cp
+
+import (
+	"awgsim/internal/gpu"
+	"awgsim/internal/hashutil"
+	"awgsim/internal/mem"
+)
+
+// nilRef marks an empty slab link.
+const nilRef int32 = -1
+
+// spillSlot is one slab-resident spilled condition. A slot exists while it
+// has live waiters (it is "in the table") or pending removed-tombstones (a
+// waiter withdrawn while its log entry sat in a drain batch in flight —
+// the PR 3 single-home bookkeeping, now a flagged list on the same slot
+// instead of a separate map of maps).
+type spillSlot struct {
+	key condKey
+
+	wHead, wTail int32 // live waiters, drain arrival order (FIFO)
+	wLen         int32
+
+	rHead int32 // removed-tombstone WGs awaiting drain consumption
+	rLen  int32
+
+	next int32 // freelist link while unallocated
+}
+
+// wgNode is one waiter/tombstone list node.
+type wgNode struct {
+	wg   gpu.WGID
+	next int32
+}
+
+// spillTable is the CP's in-memory spilled-condition store: a slab of
+// condition slots indexed by an open-addressed (addr, want, cmp) table,
+// with intrusive freelist-backed waiter and tombstone lists and an
+// open-addressed per-address condition counter. It replaces the
+// table/removed/addrs Go maps; the check-order walk stays with the
+// Processor (drain arrival order is a slice, exactly as before).
+type spillTable struct {
+	ents    []spillSlot
+	freeEnt int32
+
+	wnodes []wgNode
+	freeW  int32
+
+	idx   *hashutil.Flat[condKey, int32]  // key -> 1-based slot ref (0 = fresh)
+	addrs *hashutil.Flat[mem.Addr, int32] // in-table conditions per address
+
+	waiters  int // total live waiters (the old inTable)
+	condLive int // conditions with live waiters (the old len(table))
+}
+
+func newSpillTable() spillTable {
+	hashKey := func(k condKey) uint64 {
+		h := hashutil.Mix64(uint64(k.addr))
+		h = hashutil.Mix64(h ^ uint64(k.want))
+		return hashutil.Mix64(h ^ uint64(k.cmp))
+	}
+	return spillTable{
+		freeEnt: nilRef,
+		freeW:   nilRef,
+		idx:     hashutil.NewFlat[condKey, int32](64, hashKey),
+		addrs: hashutil.NewFlat[mem.Addr, int32](64, func(a mem.Addr) uint64 {
+			return hashutil.Mix64(uint64(a))
+		}),
+	}
+}
+
+// monitoredAddrs reports distinct addresses with in-table conditions.
+func (t *spillTable) monitoredAddrs() int { return t.addrs.Len() }
+
+func (t *spillTable) lookup(k condKey) int32 {
+	p := t.idx.Ref(k)
+	if p == nil {
+		return nilRef
+	}
+	return *p - 1
+}
+
+func (t *spillTable) getOrCreate(k condKey) int32 {
+	p := t.idx.Put(k)
+	if *p == 0 {
+		e := t.alloc(k)
+		*p = e + 1
+		return e
+	}
+	return *p - 1
+}
+
+func (t *spillTable) alloc(k condKey) int32 {
+	var e int32
+	if t.freeEnt != nilRef {
+		e = t.freeEnt
+		t.freeEnt = t.ents[e].next
+	} else {
+		t.ents = append(t.ents, spillSlot{})
+		e = int32(len(t.ents) - 1)
+	}
+	t.ents[e] = spillSlot{key: k, wHead: nilRef, wTail: nilRef, rHead: nilRef}
+	return e
+}
+
+// maybeFree releases e once it holds neither waiters nor tombstones.
+func (t *spillTable) maybeFree(e int32) {
+	s := &t.ents[e]
+	if s.wLen > 0 || s.rLen > 0 {
+		return
+	}
+	t.idx.Delete(s.key)
+	s.next = t.freeEnt
+	t.freeEnt = e
+}
+
+func (t *spillTable) pushNode(head, tail *int32, wg gpu.WGID) {
+	var w int32
+	if t.freeW != nilRef {
+		w = t.freeW
+		t.freeW = t.wnodes[w].next
+	} else {
+		t.wnodes = append(t.wnodes, wgNode{})
+		w = int32(len(t.wnodes) - 1)
+	}
+	t.wnodes[w] = wgNode{wg: wg, next: nilRef}
+	if *tail == nilRef {
+		*head = w
+	} else {
+		t.wnodes[*tail].next = w
+	}
+	*tail = w
+}
+
+// addWaiter appends wg to k's waiter list (drain arrival order),
+// reporting whether the condition just entered the table.
+func (t *spillTable) addWaiter(k condKey, wg gpu.WGID) (newCond bool) {
+	e := t.getOrCreate(k)
+	s := &t.ents[e]
+	newCond = s.wLen == 0
+	t.pushNode(&s.wHead, &s.wTail, wg)
+	s.wLen++
+	t.waiters++
+	if newCond {
+		t.condLive++
+		*t.addrs.Put(k.addr)++
+	}
+	return newCond
+}
+
+// removeWaiter unlinks wg from k's waiter list (a policy-timeout
+// withdrawal), reporting whether it was present.
+func (t *spillTable) removeWaiter(k condKey, wg gpu.WGID) bool {
+	e := t.lookup(k)
+	if e == nilRef {
+		return false
+	}
+	s := &t.ents[e]
+	prev := nilRef
+	for w := s.wHead; w != nilRef; w = t.wnodes[w].next {
+		if t.wnodes[w].wg != wg {
+			prev = w
+			continue
+		}
+		if prev == nilRef {
+			s.wHead = t.wnodes[w].next
+		} else {
+			t.wnodes[prev].next = t.wnodes[w].next
+		}
+		if s.wTail == w {
+			s.wTail = prev
+		}
+		s.wLen--
+		t.wnodes[w].next = t.freeW
+		t.freeW = w
+		t.waiters--
+		if s.wLen == 0 {
+			t.condLive--
+			t.addrDec(k.addr)
+			t.maybeFree(e)
+		}
+		return true
+	}
+	return false
+}
+
+// dropWaiters removes condition k from the table entirely, appending its
+// waiters to buf in FIFO order (the check-met wake path).
+func (t *spillTable) dropWaiters(k condKey, buf []gpu.WGID) []gpu.WGID {
+	e := t.lookup(k)
+	if e == nilRef {
+		return buf
+	}
+	s := &t.ents[e]
+	for w := s.wHead; w != nilRef; {
+		buf = append(buf, t.wnodes[w].wg)
+		nx := t.wnodes[w].next
+		t.wnodes[w].next = t.freeW
+		t.freeW = w
+		w = nx
+	}
+	t.waiters -= int(s.wLen)
+	if s.wLen > 0 {
+		t.condLive--
+		t.addrDec(k.addr)
+	}
+	s.wHead, s.wTail, s.wLen = nilRef, nilRef, 0
+	t.maybeFree(e)
+	return buf
+}
+
+// inTable reports whether k currently has live waiters.
+func (t *spillTable) inTable(k condKey) bool {
+	e := t.lookup(k)
+	return e != nilRef && t.ents[e].wLen > 0
+}
+
+// addTombstone records that wg withdrew from k while its spill was in a
+// drain batch in flight. Set semantics: a WG is recorded at most once per
+// condition, as with the old map-of-sets.
+func (t *spillTable) addTombstone(k condKey, wg gpu.WGID) {
+	e := t.getOrCreate(k)
+	s := &t.ents[e]
+	for w := s.rHead; w != nilRef; w = t.wnodes[w].next {
+		if t.wnodes[w].wg == wg {
+			return
+		}
+	}
+	// Tombstone list order is immaterial (membership only): push at head.
+	var w int32
+	if t.freeW != nilRef {
+		w = t.freeW
+		t.freeW = t.wnodes[w].next
+	} else {
+		t.wnodes = append(t.wnodes, wgNode{})
+		w = int32(len(t.wnodes) - 1)
+	}
+	t.wnodes[w] = wgNode{wg: wg, next: s.rHead}
+	s.rHead = w
+	s.rLen++
+}
+
+// consumeTombstone removes wg's tombstone on k if present (a drain pop
+// matching a withdrawn waiter), reporting whether one was consumed.
+func (t *spillTable) consumeTombstone(k condKey, wg gpu.WGID) bool {
+	e := t.lookup(k)
+	if e == nilRef {
+		return false
+	}
+	s := &t.ents[e]
+	prev := nilRef
+	for w := s.rHead; w != nilRef; w = t.wnodes[w].next {
+		if t.wnodes[w].wg != wg {
+			prev = w
+			continue
+		}
+		if prev == nilRef {
+			s.rHead = t.wnodes[w].next
+		} else {
+			t.wnodes[prev].next = t.wnodes[w].next
+		}
+		s.rLen--
+		t.wnodes[w].next = t.freeW
+		t.freeW = w
+		t.maybeFree(e)
+		return true
+	}
+	return false
+}
+
+func (t *spillTable) addrDec(a mem.Addr) {
+	p := t.addrs.Ref(a)
+	*p--
+	if *p == 0 {
+		t.addrs.Delete(a)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"awgsim/internal/event"
+	"awgsim/internal/hashutil"
 	"awgsim/internal/mem"
 	"awgsim/internal/metrics"
 	"awgsim/internal/trace"
@@ -21,17 +22,36 @@ type atomicUnit struct {
 	m         *Machine
 	observers []AtomicObserver
 
-	// Table 2 characterization, keyed by word-aligned address.
-	chars map[mem.Addr]*varChar
+	// Table 2 characterization: a slab of per-variable records indexed by
+	// word-aligned address. observeUpdate runs at every write atomic's
+	// bank-service instant, so the lookup and the active-episode walk are
+	// flat-array operations rather than map traffic.
+	charIdx   *hashutil.Flat[mem.Addr, int32] // aligned addr -> 1-based slab ref
+	charSlab  []varChar
+	charAddrs []mem.Addr // slab insertion order (characterization re-sorts)
 }
 
+// varChar keeps one synchronization variable's Table 2 statistics. The
+// per-variable populations (distinct waited-for values, concurrent
+// conditions, active episodes) are small — bounded by concurrent waiters —
+// so linear scans of flat slices beat map overhead on every path.
 type varChar struct {
-	scope         Scope
-	wants         map[int64]bool
-	waiters       map[condKey]int // concurrent waiters per condition
-	maxWaiters    int
-	episodes      map[WGID]int // updates observed per active episode
+	scope Scope
+
+	wantVals []int64    // distinct waited-for values
+	conds    []condStat // concurrent waiters per (addr, want) condition
+
+	maxWaiters int
+
+	epWGs    []WGID // active episodes: the waiting WGs...
+	epCounts []int  // ...and updates observed since each began
+
 	updatesPerMet []int
+}
+
+type condStat struct {
+	key condKey
+	n   int
 }
 
 type condKey struct {
@@ -40,7 +60,9 @@ type condKey struct {
 }
 
 func newAtomicUnit(m *Machine) *atomicUnit {
-	return &atomicUnit{m: m, chars: make(map[mem.Addr]*varChar)}
+	return &atomicUnit{m: m, charIdx: hashutil.NewFlat[mem.Addr, int32](64, func(a mem.Addr) uint64 {
+		return hashutil.Mix64(uint64(a))
+	})}
 }
 
 func (p *atomicUnit) subscribe(f AtomicObserver) {
@@ -171,47 +193,88 @@ func (p *atomicUnit) arm(w *WG, v Var, atBank func(), resp func()) {
 
 func (p *atomicUnit) charFor(v Var) *varChar {
 	addr := v.Addr.WordAligned() // observeUpdate keys by aligned address
-	c := p.chars[addr]
-	if c == nil {
-		c = &varChar{
-			scope:    v.Scope,
-			wants:    make(map[int64]bool),
-			waiters:  make(map[condKey]int),
-			episodes: make(map[WGID]int),
-		}
-		p.chars[addr] = c
+	r := p.charIdx.Put(addr)
+	if *r == 0 {
+		p.charSlab = append(p.charSlab, varChar{scope: v.Scope})
+		p.charAddrs = append(p.charAddrs, addr)
+		*r = int32(len(p.charSlab))
 	}
-	return c
+	return &p.charSlab[*r-1]
 }
 
 func (p *atomicUnit) charBegin(w *WG, v Var, want int64) {
 	c := p.charFor(v)
-	c.wants[want] = true
-	k := condKey{v.Addr, want}
-	c.waiters[k]++
-	if c.waiters[k] > c.maxWaiters {
-		c.maxWaiters = c.waiters[k]
+	seen := false
+	for _, wv := range c.wantVals {
+		if wv == want {
+			seen = true
+			break
+		}
 	}
-	c.episodes[w.id] = 0
+	if !seen {
+		c.wantVals = append(c.wantVals, want)
+	}
+	k := condKey{v.Addr, want}
+	bumped := false
+	for i := range c.conds {
+		if c.conds[i].key == k {
+			c.conds[i].n++
+			if c.conds[i].n > c.maxWaiters {
+				c.maxWaiters = c.conds[i].n
+			}
+			bumped = true
+			break
+		}
+	}
+	if !bumped {
+		c.conds = append(c.conds, condStat{key: k, n: 1})
+		if c.maxWaiters < 1 {
+			c.maxWaiters = 1
+		}
+	}
+	// Begin (or restart) w's episode with a zeroed update count.
+	for i, id := range c.epWGs {
+		if id == w.id {
+			c.epCounts[i] = 0
+			return
+		}
+	}
+	c.epWGs = append(c.epWGs, w.id)
+	c.epCounts = append(c.epCounts, 0)
 }
 
 func (p *atomicUnit) charMet(w *WG, v Var, want int64) {
 	c := p.charFor(v)
 	k := condKey{v.Addr, want}
-	if c.waiters[k] > 0 {
-		c.waiters[k]--
+	for i := range c.conds {
+		if c.conds[i].key == k {
+			if c.conds[i].n > 0 {
+				c.conds[i].n--
+			}
+			break
+		}
 	}
-	if n, ok := c.episodes[w.id]; ok {
-		c.updatesPerMet = append(c.updatesPerMet, n)
-		delete(c.episodes, w.id)
+	for i, id := range c.epWGs {
+		if id == w.id {
+			c.updatesPerMet = append(c.updatesPerMet, c.epCounts[i])
+			// Episode order is immaterial (observeUpdate increments all,
+			// charMet records only the finished one): swap-remove.
+			last := len(c.epWGs) - 1
+			c.epWGs[i], c.epCounts[i] = c.epWGs[last], c.epCounts[last]
+			c.epWGs, c.epCounts = c.epWGs[:last], c.epCounts[:last]
+			return
+		}
 	}
 }
 
 func (p *atomicUnit) observeUpdate(a mem.Addr) {
-	if c, ok := p.chars[a.WordAligned()]; ok {
-		for id := range c.episodes {
-			c.episodes[id]++
-		}
+	r := p.charIdx.Ref(a.WordAligned())
+	if r == nil {
+		return
+	}
+	c := &p.charSlab[*r-1]
+	for i := range c.epCounts {
+		c.epCounts[i]++
 	}
 }
 
@@ -226,15 +289,12 @@ func (p *atomicUnit) characterization() charSummary {
 	var updSum float64
 	var updN int
 	// Iterate in address order: the float accumulation below is not
-	// associative, so map order would leak into the Table 2 mean.
-	addrs := make([]mem.Addr, 0, len(p.chars))
-	for a := range p.chars {
-		addrs = append(addrs, a)
-	}
+	// associative, so insertion order would leak into the Table 2 mean.
+	addrs := append([]mem.Addr(nil), p.charAddrs...)
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, a := range addrs {
-		c := p.chars[a]
-		conds += len(c.wants)
+		c := &p.charSlab[*p.charIdx.Ref(a)-1]
+		conds += len(c.wantVals)
 		if c.maxWaiters > maxW {
 			maxW = c.maxWaiters
 		}
@@ -244,7 +304,7 @@ func (p *atomicUnit) characterization() charSummary {
 		}
 	}
 	sum := charSummary{
-		syncVars: len(p.chars),
+		syncVars: len(p.charSlab),
 		stats:    metrics.SyncVarStats{Conditions: conds, MaxWaiters: maxW},
 	}
 	if updN > 0 {

@@ -1,0 +1,185 @@
+// Package hotpathmap keeps Go maps off the simulator's bank-service and
+// wake paths.
+//
+// The data-oriented hot-state overhaul replaced the SyncMon condition
+// cache's maps, the CP spilled-condition table's maps, and the memory
+// system's value store with slab/flat structures: profiled suites spent
+// over a quarter of their wall clock in map runtime (hash, probe, grow)
+// and the allocations behind it. A map reintroduced on those paths —
+// indexed, ranged, or deleted in any function reachable from a
+// bank-service or wake root — quietly reverts that, so the analyzer flags
+// it at review time.
+//
+// Reachability is a same-package over-approximation: any reference to a
+// package function from a hot function counts as a call (this deliberately
+// includes functions passed as values — e.g. pooled-task callees — which
+// do run on the hot path). Cold code sharing a package is not flagged
+// unless a hot root reaches it. len(m) is allowed (no hashing); a
+// genuinely cold or setup-time map access on a hot path carries a
+// `//lint:allow hotpathmap <reason>` directive.
+package hotpathmap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"awgsim/internal/lint/analysis"
+)
+
+// Analyzer is the hotpathmap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathmap",
+	Doc:  "forbid Go map access in functions reachable from bank-service/wake hot paths",
+	Run:  run,
+}
+
+// scope names one hot package (by path suffix, so testdata stand-ins
+// match) and its hot roots: the entry points the bank-service and wake
+// machinery calls per atomic / per wake.
+type scope struct {
+	pkgSuffix string
+	roots     map[string]bool
+}
+
+var scopes = []scope{
+	{
+		// SyncMon: per-atomic observation, registration/withdrawal at bank
+		// time, spill, and the sporadic-wake sweep.
+		pkgSuffix: "/syncmon",
+		roots: map[string]bool{
+			"Register": true, "Unregister": true, "observe": true,
+			"spill": true, "wakeAllOnAddr": true,
+		},
+	},
+	{
+		// CP firmware: drain/check passes, check results, and waiter
+		// withdrawal all run against every spilled condition.
+		pkgSuffix: "/cp",
+		roots: map[string]bool{
+			"Unregister": true, "drainPass": true, "checkPass": true,
+			"runCheckResult": true,
+		},
+	},
+	{
+		// Memory system: value reads/writes and every timing query run per
+		// access at bank-service rate.
+		pkgSuffix: "/mem",
+		roots: map[string]bool{
+			"Read": true, "Write": true, "Access": true,
+			"AtomicTiming": true, "LocalAtomicTiming": true, "ArmTiming": true,
+			"LoadTiming": true, "StoreTiming": true,
+		},
+	},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sc := scopeFor(pass.Pkg.Path())
+	if sc == nil {
+		return nil, nil
+	}
+	// Collect the package's function declarations, keeping file order so
+	// the walk (and the diagnostics it emits) is deterministic.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+				order = append(order, obj)
+			}
+		}
+	}
+	// Flood same-package reachability from the roots. Any use of a package
+	// function inside a hot body is an edge, call or not.
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, obj := range order {
+		if sc.roots[decls[obj].Name.Name] {
+			reachable[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		ast.Inspect(decls[obj].Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, hasBody := decls[callee]; hasBody && !reachable[callee] {
+				reachable[callee] = true
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+	for _, obj := range order {
+		if reachable[obj] {
+			checkBody(pass, decls[obj])
+		}
+	}
+	return nil, nil
+}
+
+func scopeFor(path string) *scope {
+	for i := range scopes {
+		if strings.HasSuffix(path, scopes[i].pkgSuffix) {
+			return &scopes[i]
+		}
+	}
+	return nil
+}
+
+// checkBody flags map index, range, and delete operations inside one hot
+// function.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if isMap(pass, n.X) {
+				report(pass, n, name, "indexed")
+			}
+		case *ast.RangeStmt:
+			if isMap(pass, n.X) {
+				report(pass, n, name, "ranged over")
+			}
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "delete" || len(n.Args) == 0 {
+				return true
+			}
+			if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB && isMap(pass, n.Args[0]) {
+				report(pass, n, name, "deleted from")
+			}
+		}
+		return true
+	})
+}
+
+func isMap(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func report(pass *analysis.Pass, n ast.Node, fn, verb string) {
+	pass.Report(analysis.Diagnostic{
+		Pos: n.Pos(), End: n.End(),
+		Message: "map " + verb + " in " + fn + ", reachable from a bank-service/wake hot path; " +
+			"use a slab or hashutil.Flat index (see the hot-state layout in DESIGN.md)",
+	})
+}

@@ -1,0 +1,29 @@
+// Package cp seeds the function-value edge: a helper only ever passed as
+// a callback from a hot root still runs on the hot path and is flagged.
+package cp
+
+type proc struct {
+	table map[uint64][]int
+	sched func(fn func())
+}
+
+// drainPass is a hot root; it never calls finish directly, only hands it
+// to the scheduler. The reference alone makes finish hot.
+func (p *proc) drainPass() {
+	p.sched(p.finish)
+}
+
+func (p *proc) finish() {
+	for k := range p.table { // want `map ranged over in finish, reachable from a bank-service/wake hot path`
+		delete(p.table, k) // want `map deleted from in finish, reachable from a bank-service/wake hot path`
+	}
+}
+
+// rebuild is cold (reached from no root): map construction and access are
+// fine here.
+func (p *proc) rebuild(keys []uint64) {
+	p.table = make(map[uint64][]int, len(keys))
+	for _, k := range keys {
+		p.table[k] = nil
+	}
+}

@@ -1,0 +1,30 @@
+// Package mem seeds bank-service map traffic: Read/Write are hot roots,
+// construction-time code is not.
+package mem
+
+type system struct {
+	words map[uint64]int64
+	banks map[uint64]int
+}
+
+func (s *system) Read(addr uint64) int64 {
+	return s.words[addr] // want `map indexed in Read, reachable from a bank-service/wake hot path`
+}
+
+func (s *system) Write(addr uint64, v int64) {
+	s.bankOf(addr)
+	s.words[addr] = v // want `map indexed in Write, reachable from a bank-service/wake hot path`
+}
+
+func (s *system) bankOf(addr uint64) int {
+	return s.banks[addr] // want `map indexed in bankOf, reachable from a bank-service/wake hot path`
+}
+
+// newSystem runs once at construction: seeding the maps there is cold.
+func newSystem(n int) *system {
+	s := &system{words: map[uint64]int64{}, banks: map[uint64]int{}}
+	for i := 0; i < n; i++ {
+		s.banks[uint64(i)] = i % 4
+	}
+	return s
+}

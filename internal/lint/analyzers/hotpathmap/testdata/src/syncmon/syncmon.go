@@ -1,0 +1,42 @@
+// Package syncmon seeds map operations on and off the monitor's hot
+// paths: the package-path suffix puts it in the analyzer's syncmon scope.
+package syncmon
+
+type monitor struct {
+	conds   map[uint64]int
+	waiters map[uint64][]int
+	stats   map[string]int
+}
+
+// observe is a hot root: direct map reads, writes, ranges, and deletes are
+// all flagged.
+func (m *monitor) observe(addr uint64) {
+	c := m.conds[addr]             // want `map indexed in observe, reachable from a bank-service/wake hot path`
+	m.conds[addr] = c + 1          // want `map indexed in observe, reachable from a bank-service/wake hot path`
+	for a, ws := range m.waiters { // want `map ranged over in observe, reachable from a bank-service/wake hot path`
+		_ = a
+		_ = ws
+	}
+	delete(m.conds, addr) // want `map deleted from in observe, reachable from a bank-service/wake hot path`
+	if len(m.conds) > 0 { // len carries no hashing; allowed
+		return
+	}
+}
+
+// Register reaches bump through an ordinary call: the helper is hot too.
+func (m *monitor) Register(addr uint64) {
+	m.bump(addr)
+}
+
+func (m *monitor) bump(addr uint64) {
+	m.conds[addr]++ // want `map indexed in bump, reachable from a bank-service/wake hot path`
+}
+
+// report is never reached from a root: its map traffic is cold and legal.
+func (m *monitor) report() int {
+	total := 0
+	for _, n := range m.stats {
+		total += n
+	}
+	return total
+}

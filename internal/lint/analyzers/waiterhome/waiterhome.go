@@ -46,12 +46,13 @@ type home struct {
 
 var homes = []home{
 	{
-		// SyncMon condition cache: conditions, waiters, and the indexes
-		// over them move together through registration/wake/evict paths.
+		// SyncMon condition cache: conditions, waiters, and the slab store
+		// holding them move together through registration/wake/evict paths.
+		// (sets/byAddr/monitored survive as testdata stand-in fields.)
 		pkgSuffix: "/syncmon", typeName: "SyncMon",
 		fields: map[string]bool{
 			"sets": true, "waiters": true, "byAddr": true,
-			"monitored": true, "conds": true,
+			"monitored": true, "conds": true, "store": true,
 		},
 		approved: map[string]bool{
 			"New": true, "Register": true, "Unregister": true,
@@ -69,6 +70,48 @@ var homes = []home{
 		},
 	},
 	{
+		// The slab condition store's containers: only the store's own
+		// accessors move entries, waiter nodes, freelists, or set arrays.
+		pkgSuffix: "/syncmon", typeName: "condStore",
+		fields: map[string]bool{
+			"setEnt": true, "setLen": true, "ents": true, "freeEnt": true,
+			"wnodes": true, "freeW": true, "byAddr": true,
+		},
+		approved: map[string]bool{
+			"newCondStore": true, "insert": true, "drop": true,
+			"pushWaiter": true, "popWaiter": true, "shedTailWaiter": true,
+			"removeWaiter": true, "clearWaiters": true,
+		},
+	},
+	{
+		// A slab condition slot's intrusive links and waiter list heads.
+		pkgSuffix: "/syncmon", typeName: "condSlot",
+		fields: map[string]bool{
+			"addrNext": true, "wHead": true, "wTail": true, "wLen": true,
+			"next": true,
+		},
+		approved: map[string]bool{
+			"insert": true, "drop": true, "pushWaiter": true,
+			"popWaiter": true, "shedTailWaiter": true, "removeWaiter": true,
+			"clearWaiters": true,
+		},
+	},
+	{
+		// Waiter-node freelist links.
+		pkgSuffix: "/syncmon", typeName: "waiterSlot",
+		fields: map[string]bool{"next": true},
+		approved: map[string]bool{
+			"drop": true, "pushWaiter": true, "popWaiter": true,
+			"shedTailWaiter": true, "removeWaiter": true, "clearWaiters": true,
+		},
+	},
+	{
+		// Per-address chain heads in the open-addressed index.
+		pkgSuffix: "/syncmon", typeName: "addrState",
+		fields:   map[string]bool{"head": true, "tail": true, "count": true},
+		approved: map[string]bool{"insert": true, "drop": true},
+	},
+	{
 		// Monitor Log ring state: only the ring's own accessors may touch
 		// slots, tombstones, or occupancy — sm/cp code goes through
 		// Push/Pop/Remove.
@@ -82,16 +125,52 @@ var homes = []home{
 		},
 	},
 	{
-		// CP spilled-condition table, its walk order, the address index,
-		// and the in-flight removed-tombstones.
+		// CP spilled-condition table, its walk order, and the wake buffer
+		// waiters travel through. (table/inTable/addrs/removed survive as
+		// testdata stand-in fields.)
 		pkgSuffix: "/cp", typeName: "Processor",
 		fields: map[string]bool{
 			"table": true, "order": true, "inTable": true,
-			"addrs": true, "removed": true,
+			"addrs": true, "removed": true, "tab": true, "wakeBuf": true,
 		},
 		approved: map[string]bool{
 			"New": true, "Unregister": true, "drainPass": true,
 			"dropCond": true, "runCheckResult": true,
+		},
+	},
+	{
+		// The CP slab table's containers, counters, and indexes.
+		pkgSuffix: "/cp", typeName: "spillTable",
+		fields: map[string]bool{
+			"ents": true, "freeEnt": true, "wnodes": true, "freeW": true,
+			"idx": true, "addrs": true, "waiters": true, "condLive": true,
+		},
+		approved: map[string]bool{
+			"newSpillTable": true, "alloc": true, "maybeFree": true,
+			"pushNode": true, "addWaiter": true, "removeWaiter": true,
+			"dropWaiters": true, "addTombstone": true, "consumeTombstone": true,
+		},
+	},
+	{
+		// A spilled condition's waiter and tombstone list heads.
+		pkgSuffix: "/cp", typeName: "spillSlot",
+		fields: map[string]bool{
+			"wHead": true, "wTail": true, "wLen": true,
+			"rHead": true, "rLen": true, "next": true,
+		},
+		approved: map[string]bool{
+			"alloc": true, "maybeFree": true, "addWaiter": true,
+			"removeWaiter": true, "dropWaiters": true,
+			"addTombstone": true, "consumeTombstone": true,
+		},
+	},
+	{
+		// Waiter/tombstone node freelist links.
+		pkgSuffix: "/cp", typeName: "wgNode",
+		fields: map[string]bool{"next": true},
+		approved: map[string]bool{
+			"pushNode": true, "removeWaiter": true, "dropWaiters": true,
+			"addTombstone": true, "consumeTombstone": true,
 		},
 	},
 }

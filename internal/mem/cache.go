@@ -17,6 +17,13 @@ type Cache struct {
 	lineSize int
 	lines    []cacheLine // sets*ways entries
 
+	// Shift/mask fast path for power-of-two geometry (every Table 1 cache):
+	// index() runs on each L1/L2 access and each atomic's allocate probe.
+	lineShift uint
+	setMask   uint64
+	setShift  uint
+	pow2      bool
+
 	hits, misses uint64
 	pinnedCount  int
 
@@ -43,12 +50,19 @@ func NewCache(sizeBytes, ways, lineSize int) (*Cache, error) {
 	if sets == 0 || sizeBytes%(ways*lineSize) != 0 {
 		return nil, fmt.Errorf("mem: cache size %d not a multiple of ways*line %d", sizeBytes, ways*lineSize)
 	}
-	return &Cache{
+	c := &Cache{
 		sets:     sets,
 		ways:     ways,
 		lineSize: lineSize,
 		lines:    make([]cacheLine, sets*ways),
-	}, nil
+	}
+	if isPow2(lineSize) && isPow2(sets) {
+		c.pow2 = true
+		c.lineShift = uint(log2(lineSize))
+		c.setMask = uint64(sets - 1)
+		c.setShift = uint(log2(sets))
+	}
+	return c, nil
 }
 
 // Sets reports the number of sets.
@@ -61,6 +75,10 @@ func (c *Cache) Ways() int { return c.ways }
 func (c *Cache) Pinned() int { return c.pinnedCount }
 
 func (c *Cache) index(a Addr) (set int, tag uint64) {
+	if c.pow2 {
+		line := uint64(a) >> c.lineShift
+		return int(line & c.setMask), line >> c.setShift
+	}
 	line := uint64(a) / uint64(c.lineSize)
 	return int(line % uint64(c.sets)), line / uint64(c.sets)
 }

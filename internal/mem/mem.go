@@ -103,7 +103,7 @@ type Stats struct {
 type System struct {
 	cfg    Config
 	eng    *event.Engine
-	values map[Addr]int64
+	values *wordStore
 
 	l1 []*Cache // one per CU
 	l2 *Cache
@@ -111,6 +111,15 @@ type System struct {
 	bankFree  []event.Cycle // next free cycle per L2 bank
 	localFree []event.Cycle // next free cycle per CU local atomic unit
 	chanFree  []event.Cycle // next free cycle per DRAM channel
+
+	// Precomputed bank/channel interleaving for power-of-two geometry: the
+	// bank selector runs once per atomic, so the Table 1 defaults (64 B
+	// lines, 16 banks, 4 channels) take the shift/mask path.
+	lineShift uint
+	bankMask  uint64
+	chanMask  uint64
+	pow2Banks bool
+	pow2Chans bool
 
 	stats Stats
 }
@@ -130,11 +139,20 @@ func NewSystem(cfg Config, eng *event.Engine, numCUs int) (*System, error) {
 	s := &System{
 		cfg:       cfg,
 		eng:       eng,
-		values:    make(map[Addr]int64),
+		values:    newWordStore(),
 		l2:        l2,
 		bankFree:  make([]event.Cycle, cfg.L2Banks),
 		localFree: make([]event.Cycle, numCUs),
 		chanFree:  make([]event.Cycle, cfg.DRAMChannels),
+	}
+	if isPow2(cfg.LineSize) && isPow2(cfg.L2Banks) {
+		s.pow2Banks = true
+		s.lineShift = uint(log2(cfg.LineSize))
+		s.bankMask = uint64(cfg.L2Banks - 1)
+	}
+	if isPow2(cfg.DRAMChannels) {
+		s.pow2Chans = true
+		s.chanMask = uint64(cfg.DRAMChannels - 1)
 	}
 	s.l1 = make([]*Cache, numCUs)
 	for i := range s.l1 {
@@ -155,18 +173,35 @@ func (s *System) Stats() Stats { return s.stats }
 func (s *System) L2() *Cache { return s.l2 }
 
 func (s *System) bankOf(a Addr) int {
+	if s.pow2Banks {
+		return int(uint64(a) >> s.lineShift & s.bankMask)
+	}
 	return int(uint64(a) / uint64(s.cfg.LineSize) % uint64(s.cfg.L2Banks))
 }
 
 func (s *System) channelOf(line uint64) int {
+	if s.pow2Chans {
+		return int(line & s.chanMask)
+	}
 	return int(line % uint64(s.cfg.DRAMChannels))
 }
 
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
 // Read returns the current functional value of the word at a.
-func (s *System) Read(a Addr) int64 { return s.values[a.WordAligned()] }
+func (s *System) Read(a Addr) int64 { return s.values.read(a) }
 
 // Write sets the functional value of the word at a.
-func (s *System) Write(a Addr, v int64) { s.values[a.WordAligned()] = v }
+func (s *System) Write(a Addr, v int64) { s.values.write(a, v) }
 
 // WordAligned returns the address rounded down to its 8-byte word; the
 // value store is word-granular.

@@ -74,6 +74,12 @@ func RunAllWorkers(jobs []Job, n int) []Outcome {
 
 func runJob(j Job) Outcome {
 	o := Outcome{Key: j.Key}
+	if j.Config.Inject == nil {
+		// No injected kernel means no InjectedLatency to extract, so the
+		// job can go through Run's deduplication cache.
+		o.Result, o.Err = Run(j.Config)
+		return o
+	}
 	s, err := NewSession(j.Config)
 	if err != nil {
 		o.Err = err

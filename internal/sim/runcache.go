@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"awgsim/internal/metrics"
+)
+
+// Run deduplication: experiment sweeps share many identical cells (every
+// policy column repeats the same baseline, every sweep repeats its
+// endpoints), and a simulation is a pure function of its Config — the
+// engine is single-goroutine deterministic, so two equal Configs produce
+// bit-identical Results. The session layer therefore fingerprints each
+// fully-declarative Config, simulates each unique fingerprint once per
+// process, and replays the cached Result for duplicates.
+//
+// A Config is only fingerprintable when it is closed under its own data:
+// any closure or pointer the caller can reach back through (explicit
+// Kernel/Init/Verify, a mid-run Injection, an attached Tracer) makes runs
+// distinguishable in ways the fingerprint cannot see, so those run fresh.
+// Faults schedules are pure data and fingerprint fine.
+//
+// Replays still account one run's cycles in Totals(), so the simulated-work
+// ledger (and the golden record's sim_cycles/sim_runs) is identical with
+// and without deduplication; only wall-clock changes. SetDedupe(false)
+// restores the always-simulate behaviour.
+
+type cacheEntry struct {
+	done chan struct{} // closed when res/err/ran are final
+	res  metrics.Result
+	err  error
+	ran  bool // the session was constructed and executed
+}
+
+var (
+	cacheMu  sync.Mutex
+	runCache = map[string]*cacheEntry{}
+
+	dedupeOff atomic.Bool
+	cacheHits atomic.Uint64
+)
+
+// SetDedupe toggles run deduplication (on by default).
+func SetDedupe(on bool) { dedupeOff.Store(!on) }
+
+// CacheHits reports how many runs were satisfied by replaying a cached
+// duplicate since process start (or the last ResetCache).
+func CacheHits() uint64 { return cacheHits.Load() }
+
+// ResetCache drops every cached run and zeroes the hit counter.
+func ResetCache() {
+	cacheMu.Lock()
+	runCache = map[string]*cacheEntry{}
+	cacheMu.Unlock()
+	cacheHits.Store(0)
+}
+
+// fingerprint canonically encodes a declarative Config, reporting ok=false
+// for Configs carrying closures or pointers the encoding cannot capture.
+// fill() has already run, so defaulted and explicit Configs that denote the
+// same machine encode identically.
+func fingerprint(c *Config) (string, bool) {
+	if c.Kernel != nil || c.Init != nil || c.Verify != nil || c.Inject != nil || c.Tracer != nil {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%q|%q|%#v|%#v|%#v|%v|%d|%d|%v|%d",
+		c.Benchmark, c.Policy, c.GPU, c.Mem, c.Params,
+		c.Oversubscribe, c.PreemptAt, c.CycleBudget, c.SkipVerify, c.Seed)
+	if c.Faults != nil {
+		fmt.Fprintf(&b, "|%q", c.Faults.Name)
+		for _, e := range c.Faults.Events {
+			fmt.Fprintf(&b, "|%#v", e)
+		}
+	}
+	return b.String(), true
+}
+
+// runDeduped executes cfg through the run cache: the first arrival of a
+// fingerprint simulates (concurrent duplicates wait on it — singleflight),
+// later arrivals replay the cached Result and account a run in Totals().
+func runDeduped(cfg Config) (metrics.Result, error) {
+	if err := cfg.fill(); err != nil {
+		return metrics.Result{}, err
+	}
+	key, ok := fingerprint(&cfg)
+	if !ok || dedupeOff.Load() {
+		return runFresh(cfg)
+	}
+	cacheMu.Lock()
+	e := runCache[key]
+	if e != nil {
+		cacheMu.Unlock()
+		<-e.done
+		if e.ran {
+			cacheHits.Add(1)
+			totalCycles.Add(e.res.Cycles)
+			totalRuns.Add(1)
+			return e.res, e.err
+		}
+		// The first arrival failed before running (construction error):
+		// nothing was cached, so report the same failure afresh.
+		return metrics.Result{}, e.err
+	}
+	e = &cacheEntry{done: make(chan struct{})}
+	runCache[key] = e
+	cacheMu.Unlock()
+
+	s, err := NewSession(cfg)
+	if err != nil {
+		e.err = err
+		close(e.done)
+		cacheMu.Lock()
+		delete(runCache, key)
+		cacheMu.Unlock()
+		return metrics.Result{}, err
+	}
+	e.res, e.err = s.Run()
+	e.ran = true
+	close(e.done)
+	return e.res, e.err
+}
+
+func runFresh(cfg Config) (metrics.Result, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	return s.Run()
+}

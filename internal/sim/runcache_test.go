@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"awgsim/internal/mem"
+)
+
+// TestFingerprintCoversConfig pins Config's exact field list. If this
+// fails, a field was added (or renamed): decide whether it changes a run's
+// outcome, teach fingerprint() about it — either encode it or treat it as
+// non-fingerprintable — and then update the list here.
+func TestFingerprintCoversConfig(t *testing.T) {
+	want := []string{
+		"Benchmark", "Policy", "Kernel", "Init", "Verify", "GPU", "Mem",
+		"Params", "Oversubscribe", "PreemptAt", "Inject", "Faults",
+		"CycleBudget", "SkipVerify", "Tracer", "Seed",
+	}
+	rt := reflect.TypeOf(Config{})
+	got := make([]string, rt.NumField())
+	for i := range got {
+		got[i] = rt.Field(i).Name
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sim.Config fields changed without updating fingerprint():\n  got  %v\n  want %v", got, want)
+	}
+}
+
+// TestDedupeReplaysIdenticalResult: a duplicate Config replays the cached
+// Result bit for bit, counts a cache hit, and still accounts a run in
+// Totals() — and the replay equals what a genuine re-simulation produces.
+func TestDedupeReplaysIdenticalResult(t *testing.T) {
+	ResetCache()
+	ResetTotals()
+	cfg := quickConfig("SPM_G", "AWG", false, 3)
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := CacheHits()
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheHits() != h0+1 {
+		t.Fatalf("cache hits %d after duplicate run, want %d", CacheHits(), h0+1)
+	}
+	if r1 != r2 {
+		t.Fatalf("replayed result diverged:\n  first:  %+v\n  replay: %+v", r1, r2)
+	}
+	if cycles, runs := Totals(); runs != 2 || cycles != 2*r1.Cycles {
+		t.Fatalf("Totals() = %d cycles, %d runs; replay must account a run (want %d, 2)",
+			cycles, runs, 2*r1.Cycles)
+	}
+	SetDedupe(false)
+	defer SetDedupe(true)
+	r3, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 != r1 {
+		t.Fatalf("fresh simulation diverged from cached result:\n  cached: %+v\n  fresh:  %+v", r1, r3)
+	}
+}
+
+// TestDedupeDistinguishesConfigs: any field difference — here the jitter
+// seed — is a different fingerprint, so no replay happens.
+func TestDedupeDistinguishesConfigs(t *testing.T) {
+	ResetCache()
+	if _, err := Run(quickConfig("SPM_G", "AWG", false, 11)); err != nil {
+		t.Fatal(err)
+	}
+	h0 := CacheHits()
+	if _, err := Run(quickConfig("SPM_G", "AWG", false, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if CacheHits() != h0 {
+		t.Fatalf("different seeds shared a cache entry (%d hits, want %d)", CacheHits(), h0)
+	}
+}
+
+// TestDedupeSkipsClosures: a Config carrying any closure field is not
+// fingerprintable and always simulates fresh.
+func TestDedupeSkipsClosures(t *testing.T) {
+	ResetCache()
+	cfg := quickConfig("SPM_G", "AWG", false, 5)
+	cfg.Init = func(write func(mem.Addr, int64)) {}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	h0 := CacheHits()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if CacheHits() != h0 {
+		t.Fatalf("closure-carrying config was deduplicated (%d hits, want %d)", CacheHits(), h0)
+	}
+}
+
+// TestDedupeSingleflight: concurrent duplicates collapse onto one
+// simulation — one miss, the rest hits, every outcome identical.
+func TestDedupeSingleflight(t *testing.T) {
+	ResetCache()
+	const n = 8
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Key: fmt.Sprintf("dup%d", i), Config: quickConfig("SPM_G", "Timeout", false, 21)}
+	}
+	outs := RunAllWorkers(jobs, 4)
+	if CacheHits() != n-1 {
+		t.Fatalf("cache hits %d for %d concurrent duplicates, want %d", CacheHits(), n, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if outs[i].Err != nil {
+			t.Fatalf("%s: %v", outs[i].Key, outs[i].Err)
+		}
+		if outs[i].Result != outs[0].Result {
+			t.Fatalf("duplicate %d diverged from first outcome", i)
+		}
+	}
+}

@@ -217,13 +217,13 @@ func (s *Session) Run() (metrics.Result, error) {
 	return res, nil
 }
 
-// Run builds and executes one simulation.
+// Run builds and executes one simulation. Fully-declarative Configs are
+// run-deduplicated: a Config equal to one already simulated this process
+// replays its cached Result (see runcache.go; SetDedupe(false) opts out).
+// Callers needing post-run access to the machine use NewSession directly,
+// which always simulates.
 func Run(cfg Config) (metrics.Result, error) {
-	s, err := NewSession(cfg)
-	if err != nil {
-		return metrics.Result{}, err
-	}
-	return s.Run()
+	return runDeduped(cfg)
 }
 
 // totalCycles/totalRuns account all simulated work since process start (or

@@ -27,11 +27,20 @@ func quickConfig(bench, policy string, oversub bool, seed uint64) Config {
 	}
 }
 
+// disableDedupe turns the run cache off for one test, so repeated runs
+// genuinely re-simulate (replays would make determinism checks vacuous).
+func disableDedupe(t *testing.T) {
+	t.Helper()
+	SetDedupe(false)
+	t.Cleanup(func() { SetDedupe(true) })
+}
+
 // TestRunAllMatchesSerial is the determinism regression the package doc
 // promises: a (benchmark × policy × seed) grid, including oversubscribed
 // runs, simulated twice through the parallel pool and once serially, must
 // produce equal metrics.Result values cell for cell.
 func TestRunAllMatchesSerial(t *testing.T) {
+	disableDedupe(t)
 	benches := []string{"SPM_G", "FAM_G", "TB_LG", "SLM_G"}
 	policies := []string{"Baseline", "Timeout", "MonNR-All", "AWG"}
 	seeds := []uint64{0, 1, 42}
@@ -72,6 +81,7 @@ func TestRunAllMatchesSerial(t *testing.T) {
 // TestSeedPerturbsRun checks the seed axis is live: different seeds may
 // produce different timings, equal seeds must reproduce exactly.
 func TestSeedPerturbsRun(t *testing.T) {
+	disableDedupe(t)
 	a1, err := Run(quickConfig("SPM_G", "AWG", false, 7))
 	if err != nil {
 		t.Fatal(err)

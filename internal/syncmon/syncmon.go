@@ -107,13 +107,6 @@ type waiter struct {
 	class OpClass
 }
 
-type condEntry struct {
-	addr    mem.Addr
-	want    int64
-	cmp     gpu.Cmp
-	waiters []waiter
-}
-
 // LogEntry is one spilled waiting condition: "the monitored address, the
 // waiting value, and the waiting WG ID".
 type LogEntry struct {
@@ -200,14 +193,11 @@ type SyncMon struct {
 	cfg      Config
 	m        *gpu.Machine
 	hash     hashutil.Universal
-	sets     [][]*condEntry // Sets x (up to Ways entries)
-	waiters  int            // total waiters in the cache
+	store    condStore // slab-backed condition cache + address index
+	waiters  int       // total waiters in the cache
 	log      *MonitorLog
 	selector ResumeSelector
 	wake     WakeFunc
-
-	monitored map[mem.Addr]int          // conditions per address (cache only)
-	byAddr    map[mem.Addr][]*condEntry // address index over the cache
 
 	// High-water marks for Figure 13 / the hardware-overhead analysis.
 	maxConds, maxWaiters, maxMonitored int
@@ -215,7 +205,7 @@ type SyncMon struct {
 
 	// observe() scratch, reused across calls: a hot barrier's release makes
 	// the wake fan-out fire on every update, so it must not allocate.
-	metScratch  []*condEntry
+	metScratch  []int32
 	wakeScratch []wakeup
 	clsScratch  []OpClass
 }
@@ -234,15 +224,13 @@ func New(cfg Config, m *gpu.Machine, selector ResumeSelector, wake WakeFunc) (*S
 		return nil, fmt.Errorf("syncmon: bad config %+v", cfg)
 	}
 	s := &SyncMon{
-		cfg:       cfg,
-		m:         m,
-		hash:      hashutil.NewUniversal(cfg.Seed, max(cfg.Sets, 1)),
-		sets:      make([][]*condEntry, max(cfg.Sets, 1)),
-		log:       NewMonitorLog(cfg.LogCapacity),
-		selector:  selector,
-		wake:      wake,
-		monitored: make(map[mem.Addr]int),
-		byAddr:    make(map[mem.Addr][]*condEntry),
+		cfg:      cfg,
+		m:        m,
+		hash:     hashutil.NewUniversal(cfg.Seed, max(cfg.Sets, 1)),
+		store:    newCondStore(max(cfg.Sets, 1), cfg.Ways, cfg.WaitListSize),
+		log:      NewMonitorLog(cfg.LogCapacity),
+		selector: selector,
+		wake:     wake,
 	}
 	m.OnAtomicApply(s.observe)
 	return s, nil
@@ -271,15 +259,15 @@ func (s *SyncMon) Degrade(newWays, newWaitList int) {
 	var out []displaced
 	if newWays < s.cfg.Ways {
 		s.cfg.Ways = newWays
-		for si := range s.sets {
-			for len(s.sets[si]) > newWays {
+		for si := range s.store.setLen {
+			for s.store.setSize(si) > newWays {
 				// Evict the youngest entry of the overfull set (the last way).
-				e := s.sets[si][len(s.sets[si])-1]
-				for _, wt := range e.waiters {
-					out = append(out, displaced{wt, e.addr, e.want, e.cmp})
+				e := s.store.setEnt[si*s.store.stride+s.store.setSize(si)-1]
+				c := s.store.at(e)
+				for w := c.wHead; w != nilRef; w = s.store.wnodes[w].next {
+					out = append(out, displaced{s.store.wnodes[w].wt, c.addr, c.want, c.cmp})
 				}
-				s.waiters -= len(e.waiters)
-				e.waiters = nil
+				s.waiters -= s.store.clearWaiters(e)
 				s.dropEntry(e)
 			}
 		}
@@ -288,20 +276,19 @@ func (s *SyncMon) Degrade(newWays, newWaitList int) {
 		s.cfg.WaitListSize = newWaitList
 		// Shed the youngest waiters (walking sets in order, entries back to
 		// front) until the list fits.
-		for si := range s.sets {
+		for si := range s.store.setLen {
 			if s.waiters <= newWaitList {
 				break
 			}
-			set := s.sets[si]
-			for i := len(set) - 1; i >= 0 && s.waiters > newWaitList; i-- {
-				e := set[i]
-				for len(e.waiters) > 0 && s.waiters > newWaitList {
-					wt := e.waiters[len(e.waiters)-1]
-					e.waiters = e.waiters[:len(e.waiters)-1]
+			for i := s.store.setSize(si) - 1; i >= 0 && s.waiters > newWaitList; i-- {
+				e := s.store.setEnt[si*s.store.stride+i]
+				c := s.store.at(e)
+				for c.wLen > 0 && s.waiters > newWaitList {
+					wt := s.store.shedTailWaiter(e)
 					s.waiters--
-					out = append(out, displaced{wt, e.addr, e.want, e.cmp})
+					out = append(out, displaced{wt, c.addr, c.want, c.cmp})
 				}
-				if len(e.waiters) == 0 {
+				if c.wLen == 0 {
 					s.dropEntry(e)
 				}
 			}
@@ -324,13 +311,8 @@ func (s *SyncMon) setIndex(addr mem.Addr, want int64) int {
 	return s.hash.Hash(key)
 }
 
-func (s *SyncMon) findEntry(addr mem.Addr, want int64, cmp gpu.Cmp) *condEntry {
-	for _, e := range s.sets[s.setIndex(addr, want)] {
-		if e.addr == addr && e.want == want && e.cmp == cmp {
-			return e
-		}
-	}
-	return nil
+func (s *SyncMon) findEntry(addr mem.Addr, want int64, cmp gpu.Cmp) int32 {
+	return s.store.find(s.setIndex(addr, want), addr, want, cmp)
 }
 
 // Register records wg as waiting for mem[v.Addr] == want. Called at bank
@@ -341,29 +323,27 @@ func (s *SyncMon) Register(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp, clas
 	if s.cfg.Sets == 0 || s.cfg.WaitListSize == 0 {
 		return s.spill(wg, addr, want, cmp)
 	}
-	e := s.findEntry(addr, want, cmp)
-	if e == nil {
-		set := s.sets[s.setIndex(addr, want)]
-		if len(set) >= s.cfg.Ways {
+	si := s.setIndex(addr, want)
+	e := s.store.find(si, addr, want, cmp)
+	if e == nilRef {
+		if s.store.setSize(si) >= s.cfg.Ways {
 			return s.spill(wg, addr, want, cmp)
 		}
-		e = &condEntry{addr: addr, want: want, cmp: cmp}
-		s.sets[s.setIndex(addr, want)] = append(set, e)
-		s.byAddr[addr] = append(s.byAddr[addr], e)
+		var first bool
+		e, first = s.store.insert(si, addr, want, cmp)
 		s.conds++
-		s.monitored[addr]++
-		if s.monitored[addr] == 1 {
+		if first {
 			s.m.Mem().L2().Pin(addr)
 		}
 		s.noteHighWater()
 	}
 	if s.waiters >= s.cfg.WaitListSize {
-		if len(e.waiters) == 0 {
+		if s.store.at(e).wLen == 0 {
 			s.dropEntry(e)
 		}
 		return s.spill(wg, addr, want, cmp)
 	}
-	e.waiters = append(e.waiters, waiter{wg: wg, class: class})
+	s.store.pushWaiter(e, waiter{wg: wg, class: class})
 	s.waiters++
 	s.noteHighWater()
 	return Registered
@@ -390,49 +370,26 @@ func (s *SyncMon) spill(wg gpu.WGID, addr mem.Addr, want int64, cmp gpu.Cmp) Reg
 func (s *SyncMon) Unregister(wg gpu.WGID, v gpu.Var, want int64, cmp gpu.Cmp) bool {
 	addr := v.Addr.WordAligned()
 	e := s.findEntry(addr, want, cmp)
-	if e == nil {
+	if e == nilRef {
 		return false
 	}
-	found := false
-	for i, wt := range e.waiters {
-		if wt.wg == wg {
-			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
-			s.waiters--
-			found = true
-			break
-		}
+	found := s.store.removeWaiter(e, wg)
+	if found {
+		s.waiters--
 	}
-	if len(e.waiters) == 0 {
+	if s.store.at(e).wLen == 0 {
 		s.dropEntry(e)
 	}
 	return found
 }
 
 // dropEntry frees a condition entry and unpins/unmonitors as needed.
-func (s *SyncMon) dropEntry(e *condEntry) {
-	set := s.sets[s.setIndex(e.addr, e.want)]
-	for i, x := range set {
-		if x == e {
-			s.sets[s.setIndex(e.addr, e.want)] = append(set[:i], set[i+1:]...)
-			break
-		}
-	}
-	idx := s.byAddr[e.addr]
-	for i, x := range idx {
-		if x == e {
-			s.byAddr[e.addr] = append(idx[:i], idx[i+1:]...)
-			break
-		}
-	}
-	if len(s.byAddr[e.addr]) == 0 {
-		delete(s.byAddr, e.addr)
-	}
+func (s *SyncMon) dropEntry(e int32) {
+	addr, last := s.store.drop(e)
 	s.conds--
-	s.monitored[e.addr]--
-	if s.monitored[e.addr] == 0 {
-		delete(s.monitored, e.addr)
-		s.m.Mem().L2().Unpin(e.addr)
-		s.selector.AddressUnmonitored(e.addr)
+	if last {
+		s.m.Mem().L2().Unpin(addr)
+		s.selector.AddressUnmonitored(addr)
 	}
 }
 
@@ -440,7 +397,8 @@ func (s *SyncMon) dropEntry(e *condEntry) {
 // the L2 bank.
 func (s *SyncMon) observe(by *gpu.WG, v gpu.Var, op gpu.AtomicOp, old, new int64) {
 	addr := v.Addr.WordAligned()
-	if s.monitored[addr] == 0 {
+	head := s.store.addrHead(addr)
+	if head == nilRef {
 		return
 	}
 	if s.cfg.Sporadic {
@@ -460,36 +418,35 @@ func (s *SyncMon) observe(by *gpu.WG, v gpu.Var, op gpu.AtomicOp, old, new int64
 	}
 	s.selector.ObserveUpdate(addr, new)
 	met := s.metScratch[:0]
-	for _, e := range s.byAddr[addr] {
-		if len(e.waiters) > 0 && e.cmp.Test(new, e.want) {
+	for e := head; e != nilRef; e = s.store.at(e).addrNext {
+		c := s.store.at(e)
+		if c.wLen > 0 && c.cmp.Test(new, c.want) {
 			met = append(met, e)
 		}
 	}
 	wakeups := s.wakeScratch[:0]
 	for _, e := range met {
+		c := s.store.at(e)
 		classes := s.clsScratch[:0]
-		for _, wt := range e.waiters {
-			classes = append(classes, wt.class)
+		for w := c.wHead; w != nilRef; w = s.store.wnodes[w].next {
+			classes = append(classes, s.store.wnodes[w].wt.class)
 		}
 		s.clsScratch = classes
-		n := s.selector.Select(addr, e.want, classes)
+		n := s.selector.Select(addr, c.want, classes)
 		if n < 1 {
 			n = 1
 		}
-		if n > len(e.waiters) {
-			n = len(e.waiters)
+		if n > int(c.wLen) {
+			n = int(c.wLen)
 		}
-		for _, wt := range e.waiters[:n] {
-			wakeups = append(wakeups, wakeup{wt, e.want})
+		want := c.want
+		for i := 0; i < n; i++ {
+			wakeups = append(wakeups, wakeup{s.store.popWaiter(e), want})
 		}
-		e.waiters = e.waiters[:copy(e.waiters, e.waiters[n:])]
 		s.waiters -= n
-		if len(e.waiters) == 0 {
+		if c.wLen == 0 {
 			s.dropEntry(e)
 		}
-	}
-	for i := range met {
-		met[i] = nil // drop condEntry refs held by the scratch capacity
 	}
 	s.metScratch = met[:0]
 	s.wakeScratch = wakeups[:0]
@@ -499,27 +456,30 @@ func (s *SyncMon) observe(by *gpu.WG, v gpu.Var, op gpu.AtomicOp, old, new int64
 }
 
 // wakeAllOnAddr implements sporadic notification: every waiter on every
-// condition of addr resumes, unchecked.
+// condition of addr resumes, unchecked. The walk is set-major (set scan
+// order, not registration order), matching the historical wake sequence.
 func (s *SyncMon) wakeAllOnAddr(addr mem.Addr) {
 	var resumed []waiter
 	var wants []int64
-	var emptied []*condEntry
-	for si := range s.sets {
-		for _, e := range s.sets[si] {
-			if e.addr != addr {
+	var emptied []int32
+	for si := range s.store.setLen {
+		base := si * s.store.stride
+		for j := 0; j < s.store.setSize(si); j++ {
+			e := s.store.setEnt[base+j]
+			c := s.store.at(e)
+			if c.addr != addr {
 				continue
 			}
-			for _, wt := range e.waiters {
-				resumed = append(resumed, wt)
-				wants = append(wants, e.want)
+			for w := c.wHead; w != nilRef; w = s.store.wnodes[w].next {
+				resumed = append(resumed, s.store.wnodes[w].wt)
+				wants = append(wants, c.want)
 			}
-			s.waiters -= len(e.waiters)
-			e.waiters = nil
+			s.waiters -= s.store.clearWaiters(e)
 			emptied = append(emptied, e)
 		}
 	}
-	// Drop entries after the walk; dropEntry re-looks-up its set, so no
-	// stale slice headers are involved.
+	// Drop entries after the walk; drop splices the set arrays, so doing it
+	// mid-walk would shift unvisited entries under the index.
 	for _, e := range emptied {
 		s.dropEntry(e)
 	}
@@ -535,7 +495,7 @@ func (s *SyncMon) Waiters() int { return s.waiters }
 func (s *SyncMon) Conditions() int { return s.conds }
 
 // MonitoredAddrs reports how many distinct addresses are monitored.
-func (s *SyncMon) MonitoredAddrs() int { return len(s.monitored) }
+func (s *SyncMon) MonitoredAddrs() int { return s.store.monitoredAddrs() }
 
 func (s *SyncMon) noteHighWater() {
 	if s.conds > s.maxConds {
@@ -544,8 +504,8 @@ func (s *SyncMon) noteHighWater() {
 	if s.waiters > s.maxWaiters {
 		s.maxWaiters = s.waiters
 	}
-	if len(s.monitored) > s.maxMonitored {
-		s.maxMonitored = len(s.monitored)
+	if n := s.store.monitoredAddrs(); n > s.maxMonitored {
+		s.maxMonitored = n
 	}
 	if s.maxConds > s.m.Count.MaxConditions {
 		s.m.Count.MaxConditions = s.maxConds

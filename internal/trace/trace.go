@@ -40,9 +40,14 @@ const (
 	Acquired
 	// Finish: the WG completed.
 	Finish
+
+	// NumKinds bounds the Kind space; CountByKind tallies are indexed by it.
+	NumKinds
 )
 
-var kindNames = map[Kind]string{
+// kindNames/glyphs are Kind-indexed arrays: rendering iterates them, so
+// their order is fixed at compile time rather than by map traversal.
+var kindNames = [NumKinds]string{
 	Start:       "start",
 	Attempt:     "atomic",
 	Arm:         "arm",
@@ -56,14 +61,14 @@ var kindNames = map[Kind]string{
 }
 
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	if k >= 0 && k < NumKinds {
+		return kindNames[k]
 	}
 	return "?"
 }
 
 // glyphs renders each kind as a single timeline character.
-var glyphs = map[Kind]byte{
+var glyphs = [NumKinds]byte{
 	Start:       '[',
 	Attempt:     'a',
 	Arm:         'm',
@@ -113,9 +118,11 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// CountByKind tallies events per kind.
-func (r *Recorder) CountByKind() map[Kind]int {
-	m := make(map[Kind]int)
+// CountByKind tallies events per kind, indexed by Kind. The fixed array
+// (rather than a map) makes every consumer's iteration order — and thus any
+// rendering built on the tallies — deterministic by construction.
+func (r *Recorder) CountByKind() [NumKinds]int {
+	var m [NumKinds]int
 	for _, e := range r.events {
 		m[e.Kind]++
 	}
@@ -138,7 +145,7 @@ func (r *Recorder) Timeline(width int) string {
 		return "(no events)\n"
 	}
 	start, end := evs[0].At, evs[0].At
-	wgs := map[int]bool{}
+	ids := make([]int, 0, 16)
 	for _, e := range evs {
 		if e.At < start {
 			start = e.At
@@ -146,33 +153,39 @@ func (r *Recorder) Timeline(width int) string {
 		if e.At > end {
 			end = e.At
 		}
-		wgs[e.WG] = true
+		ids = append(ids, e.WG)
 	}
 	span := end - start
 	if span == 0 {
 		span = 1
 	}
-	ids := make([]int, 0, len(wgs))
-	for id := range wgs {
-		ids = append(ids, id)
-	}
+	// Sorted unique WG ids; a lane's index is its id's rank, so the whole
+	// render is ordered without any map in the path.
 	sort.Ints(ids)
-	lanes := make(map[int][]byte, len(ids))
-	for _, id := range ids {
+	uniq := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != uniq[len(uniq)-1] {
+			uniq = append(uniq, id)
+		}
+	}
+	ids = uniq
+	lanes := make([][]byte, len(ids))
+	for li := range lanes {
 		lane := make([]byte, width)
 		for i := range lane {
 			lane[i] = '.'
 		}
-		lanes[id] = lane
+		lanes[li] = lane
 	}
 	for _, e := range evs {
 		col := int(uint64(e.At-start) * uint64(width-1) / uint64(span))
-		lanes[e.WG][col] = glyphs[e.Kind]
+		li := sort.SearchInts(ids, e.WG)
+		lanes[li][col] = glyphs[e.Kind]
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycles %d..%d, one lane per WG (%s)\n", start, end, legend())
-	for _, id := range ids {
-		fmt.Fprintf(&b, "WG%-3d %s\n", id, lanes[id])
+	for li, id := range ids {
+		fmt.Fprintf(&b, "WG%-3d %s\n", id, lanes[li])
 	}
 	return b.String()
 }

@@ -3,6 +3,8 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"awgsim/internal/event"
 )
 
 func TestRecorderOrdersEvents(t *testing.T) {
@@ -93,6 +95,46 @@ func TestKindStrings(t *testing.T) {
 	}
 	if Kind(99).String() != "?" {
 		t.Error("unknown kind")
+	}
+}
+
+// TestRenderingDeterministic: identical event sets must render identically
+// regardless of recording order, and every Kind must carry a name and
+// glyph (the Kind-indexed arrays leave no room for map-order drift, but a
+// newly added Kind could still be forgotten).
+func TestRenderingDeterministic(t *testing.T) {
+	build := func(perm []int) *Recorder {
+		r := NewRecorder(0)
+		for _, i := range perm {
+			// 17 WGs recorded in permuted order; unique timestamps give the
+			// time sort a total order (same-cycle ties keep recording order
+			// by design, which a permutation would legitimately change).
+			r.Record(event.Cycle(i)*7, i%17, Kind(i%int(NumKinds)))
+		}
+		return r
+	}
+	fwd := make([]int, 200)
+	rev := make([]int, 200)
+	for i := range fwd {
+		fwd[i], rev[len(rev)-1-i] = i, i
+	}
+	a, b := build(fwd), build(rev)
+	if at, bt := a.Timeline(60), b.Timeline(60); at != bt {
+		t.Fatalf("timeline depends on recording order:\n%s\nvs\n%s", at, bt)
+	}
+	if ac, bc := a.CountByKind(), b.CountByKind(); ac != bc {
+		t.Fatalf("counts depend on recording order: %v vs %v", ac, bc)
+	}
+	if as, bs := a.Signature(), b.Signature(); as != bs {
+		t.Fatalf("signature depends on recording order: %q vs %q", as, bs)
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.String() == "" || k.String() == "?" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if glyphs[k] == 0 {
+			t.Errorf("kind %d has no glyph", k)
+		}
 	}
 }
 
