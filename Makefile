@@ -36,19 +36,26 @@ lint-fix:
 # fuzz runs short native-fuzzing smokes: random fault schedules through a
 # small oversubscribed sim with the IFP invariant enforced on every outcome,
 # random schedule/run interleavings through the event-engine calendar
-# checked against a reference heap oracle, and random condition-cache op
-# streams diffed against a map-based oracle of the slab condition store.
+# checked against a reference heap oracle, random condition-cache op
+# streams diffed against a map-based oracle of the slab condition store,
+# and fuzzed snapshot/restore cuts that must replay bit-identically.
 fuzz:
 	$(GO) test ./internal/fault -fuzz FuzzSchedule -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/event -fuzz FuzzCalendar -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/syncmon -fuzz FuzzCondStore -fuzztime 5s -run '^$$'
+	$(GO) test ./internal/sim -fuzz FuzzSnapshotRestore -fuzztime 5s -run '^$$'
 
-# golden regenerates the quick experiment suite and fails if any
-# deterministic output (simulated cycles, runs, rendered tables) drifts
-# from the committed golden record. After an intentional model change:
-# `go run ./cmd/awgexp -quick -golden GOLDEN_quick.json -update-golden`.
+# golden runs the quick experiment suite twice — once with the fork planner
+# (the default) and once with -no-fork — checks each against the committed
+# golden record, and diffs the two runs' records byte-for-byte: a forked
+# sweep must be indistinguishable from a cold one. After an intentional
+# model change: `go run ./cmd/awgexp -quick -golden GOLDEN_quick.json
+# -update-golden`. The intermediate records are kept on failure for diffing.
 golden:
-	$(GO) run ./cmd/awgexp -quick -golden GOLDEN_quick.json > /dev/null
+	$(GO) run ./cmd/awgexp -quick -golden GOLDEN_quick.json -golden-out .golden_forked.json > /dev/null
+	$(GO) run ./cmd/awgexp -quick -no-fork -golden GOLDEN_quick.json -golden-out .golden_unforked.json > /dev/null
+	cmp .golden_forked.json .golden_unforked.json
+	@rm -f .golden_forked.json .golden_unforked.json
 
 # ci is the full gate: formatting, static checks (go vet plus the awglint
 # domain analyzers), the race-instrumented test suite (which exercises the

@@ -25,18 +25,24 @@ type entry struct {
 	WallSecs     float64 `json:"wall_secs"`
 	SimRuns      uint64  `json:"sim_runs"`
 	CacheHits    uint64  `json:"cache_hits"`
+	Forks        uint64  `json:"forks"`
+	PrefixSaved  uint64  `json:"prefix_cycles_saved"`
+	SnapBytes    uint64  `json:"snapshot_bytes"`
 	AllocsPerRun float64 `json:"allocs_per_run"`
 	BytesPerRun  float64 `json:"bytes_per_run"`
 }
 
 type report struct {
-	Generated  string  `json:"generated"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Workers    int     `json:"workers"`
-	Quick      bool    `json:"quick"`
-	Exps       []entry `json:"experiments"`
-	TotalSecs  float64 `json:"total_secs"`
-	CacheHits  uint64  `json:"cache_hits"`
+	Generated   string  `json:"generated"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Workers     int     `json:"workers"`
+	Quick       bool    `json:"quick"`
+	Exps        []entry `json:"experiments"`
+	TotalSecs   float64 `json:"total_secs"`
+	CacheHits   uint64  `json:"cache_hits"`
+	Forks       uint64  `json:"forks"`
+	PrefixSaved uint64  `json:"prefix_cycles_saved"`
+	SnapBytes   uint64  `json:"snapshot_bytes"`
 }
 
 func main() {
@@ -82,6 +88,9 @@ func main() {
 		if e.CacheHits > 0 {
 			extra = fmt.Sprintf("  [%d/%d runs from cache]", e.CacheHits, e.SimRuns)
 		}
+		if e.Forks > 0 {
+			extra += fmt.Sprintf("  [%d forked, %s prefix cycles saved]", e.Forks, human(e.PrefixSaved))
+		}
 		fmt.Printf("  %-10s %10.3f %10.3f %+7.1f%%   %.0f -> %.0f%s\n",
 			e.ID, p.WallSecs, e.WallSecs, pct(p.WallSecs, e.WallSecs), p.AllocsPerRun, e.AllocsPerRun, extra)
 	}
@@ -89,6 +98,11 @@ func main() {
 	fmt.Printf("  %-10s %10.3f %10.3f %+7.1f%%\n", "TOTAL", old.TotalSecs, cur.TotalSecs, total)
 	if cur.CacheHits > 0 {
 		fmt.Printf("  run cache: %d replayed runs in the new entry\n", cur.CacheHits)
+	}
+	if cur.Forks > 0 || old.Forks > 0 {
+		fmt.Printf("  fork planner: %d -> %d forked runs, %s -> %s prefix cycles saved, %s -> %s snapshot bytes\n",
+			old.Forks, cur.Forks, human(old.PrefixSaved), human(cur.PrefixSaved),
+			human(old.SnapBytes), human(cur.SnapBytes))
 	}
 	if total > *threshold {
 		fmt.Fprintf(os.Stderr, "benchdiff: total wall clock regressed %.1f%% (> %.0f%% gate)\n", total, *threshold)
@@ -103,6 +117,19 @@ func pct(old, new float64) float64 {
 		return 0
 	}
 	return (new - old) / old * 100
+}
+
+// human renders a count with a k/M/G suffix for the fork-planner columns.
+func human(n uint64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 func orUnstamped(s string) string {

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fieldNames returns a struct type's field names in declaration order.
+func fieldNames(v any) []string {
+	rt := reflect.TypeOf(v)
+	names := make([]string, rt.NumField())
+	for i := range names {
+		names[i] = rt.Field(i).Name
+	}
+	return names
+}
+
+// TestSnapshotCoversPredictors pins the field lists of the predictor
+// structs. If one fails, a field was added (or renamed): decide whether it
+// is replayable state, teach State()/SetState() about it, and update the
+// list here.
+func TestSnapshotCoversPredictors(t *testing.T) {
+	// Covered: counters (Bloom filter state) and the three exported
+	// counters. Excluded: cfg (immutable), index (derived addressing,
+	// rebuilt deterministically from cfg).
+	predictor := []string{
+		"cfg", "counters", "index", "PredictedAll", "PredictedOne", "Resets",
+	}
+	// Covered: ewma. Excluded: min/max/weight, immutable tuning.
+	stall := []string{"min", "max", "ewma", "weight"}
+	for _, c := range []struct {
+		name string
+		got  []string
+		want []string
+	}{
+		{"core.Predictor", fieldNames(Predictor{}), predictor},
+		{"core.StallPredictor", fieldNames(StallPredictor{}), stall},
+	} {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Errorf("%s fields changed without updating the snapshot state:\n  got  %v\n  want %v", c.name, c.got, c.want)
+		}
+	}
+}

@@ -68,7 +68,10 @@ type Processor struct {
 
 	started bool
 	stopped func() bool
-	jitter  func(base event.Cycle) event.Cycle
+	// jitter perturbs loop cadence; its pseudo-random walk lives in
+	// jitterState (not a closure variable) so Snapshot/Restore rewinds it.
+	jitter      func(state *uint64, base event.Cycle) event.Cycle
+	jitterState uint64
 
 	drainFn, checkFn func()     // hoisted loop continuations (fire every pass)
 	scratch          []condKey  // checkPass walk snapshot, reused across passes
@@ -95,13 +98,19 @@ func New(cfg Config, m *gpu.Machine, log *syncmon.MonitorLog, wake syncmon.WakeF
 // rescheduling intervals (fault injection models a busy or descheduled CP
 // by stretching its cadence). The hook receives the configured base
 // interval and returns the one to use; nil restores the exact cadence.
-func (p *Processor) SetCadenceJitter(f func(base event.Cycle) event.Cycle) { p.jitter = f }
+// Hooks must keep any evolving randomness in *state (seeded here) rather
+// than in captured variables, so a machine snapshot restore replays the
+// same skew sequence.
+func (p *Processor) SetCadenceJitter(f func(state *uint64, base event.Cycle) event.Cycle, seed uint64) {
+	p.jitter = f
+	p.jitterState = seed
+}
 
 // cadence applies the jitter hook to a base interval, keeping the result
 // at least one cycle so the loops always advance.
 func (p *Processor) cadence(base event.Cycle) event.Cycle {
 	if p.jitter != nil {
-		base = p.jitter(base)
+		base = p.jitter(&p.jitterState, base)
 	}
 	if base == 0 {
 		base = 1

@@ -1,0 +1,50 @@
+package cp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fieldNames returns a struct type's field names in declaration order.
+func fieldNames(v any) []string {
+	rt := reflect.TypeOf(v)
+	names := make([]string, rt.NumField())
+	for i := range names {
+		names[i] = rt.Field(i).Name
+	}
+	return names
+}
+
+// TestSnapshotCoversProcessor pins the field lists of the CP's stateful
+// structs. If one fails, a field was added (or renamed): decide whether it
+// is replayable state, teach Snapshot()/Restore() about it, and update the
+// list here.
+func TestSnapshotCoversProcessor(t *testing.T) {
+	// Covered: tab, order, rotate, maxTab, jitter. Excluded: cfg/m/log/wake/
+	// drainFn/checkFn (construction wiring), started/stopped (started flips
+	// once before the first event and stopped only at teardown — both are
+	// constant across the window snapshots are taken in), scratch/wakeBuf
+	// (transient per-pass buffers, empty between events).
+	processor := []string{
+		"cfg", "m", "log", "wake", "tab", "order", "rotate", "maxTab",
+		"started", "stopped", "jitter", "jitterState", "drainFn", "checkFn",
+		"scratch", "wakeBuf",
+	}
+	// Covered in full: the slab table is pure replayable state.
+	table := []string{
+		"ents", "freeEnt", "wnodes", "freeW", "idx", "addrs", "waiters",
+		"condLive",
+	}
+	for _, c := range []struct {
+		name string
+		got  []string
+		want []string
+	}{
+		{"cp.Processor", fieldNames(Processor{}), processor},
+		{"cp.spillTable", fieldNames(spillTable{}), table},
+	} {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Errorf("%s fields changed without updating Snapshot():\n  got  %v\n  want %v", c.name, c.got, c.want)
+		}
+	}
+}

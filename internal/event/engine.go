@@ -135,6 +135,14 @@ func (e *Engine) schedule(at Cycle, ev scheduled) {
 	}
 	e.seq++
 	ev.seq = e.seq
+	e.place(ev)
+}
+
+// place files an entry that already carries its seq into the calendar
+// structure its timestamp selects. Restore re-places snapshot entries
+// through the same horizon rules scheduling uses.
+func (e *Engine) place(ev scheduled) {
+	at := ev.at
 	if at >= e.nearBase {
 		if at-e.nearBase < nearSize {
 			e.near[at&nearMask].add(ev)

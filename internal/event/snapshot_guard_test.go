@@ -1,0 +1,32 @@
+package event
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotCoversEngine pins Engine's exact field list. If this fails,
+// a field was added (or renamed): decide whether it is part of the
+// machine's replayable state, teach Snapshot()/Restore() about it — either
+// save it or document it as host-side/derived — and then update the list
+// here.
+//
+// Covered by Snapshot: now, seq, executed, budget, budgetHit, and the
+// calendar contents (near/far/heap serialize into Snapshot.entries).
+// Excluded: stopped (transient run-loop flag, reset by RunUntil), nearBase/
+// nearScan/nearCnt/farCnt (calendar geometry rebuilt by Restore's
+// re-placement), free (host-side bucket pool).
+func TestSnapshotCoversEngine(t *testing.T) {
+	want := []string{
+		"now", "seq", "executed", "stopped", "near", "far", "nearBase",
+		"nearScan", "nearCnt", "farCnt", "heap", "free", "budget", "budgetHit",
+	}
+	rt := reflect.TypeOf(Engine{})
+	got := make([]string, rt.NumField())
+	for i := range got {
+		got[i] = rt.Field(i).Name
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("event.Engine fields changed without updating Snapshot():\n  got  %v\n  want %v", got, want)
+	}
+}

@@ -171,15 +171,103 @@ func Arm(m *gpu.Machine, sched Schedule) error {
 				continue
 			}
 			m.Engine().At(e.At, func() {
-				state := e.Seed
-				hw.CP().SetCadenceJitter(func(base event.Cycle) event.Cycle {
+				// The skew walk lives in the CP's snapshotted jitter state,
+				// so a machine rewind replays the same stretch sequence.
+				hw.CP().SetCadenceJitter(func(state *uint64, base event.Cycle) event.Cycle {
 					if e.MaxSkew == 0 {
 						return base
 					}
-					return base + event.Cycle(splitmix(&state)%uint64(e.MaxSkew))
-				})
+					return base + event.Cycle(splitmix(state)%uint64(e.MaxSkew))
+				}, e.Seed)
 			})
 		}
+	}
+	return nil
+}
+
+// applicable reports whether e would schedule an engine event for pol: CU
+// faults always do; monitor faults only when the policy exposes monitor
+// hardware (Arm skips them entirely otherwise, consuming no sequence
+// number).
+func applicable(pol gpu.Policy, e Event) bool {
+	switch e.Op {
+	case DegradeSyncMon, JitterCP:
+		_, ok := pol.(monitorHardware)
+		return ok
+	default:
+		return true
+	}
+}
+
+// CountApplicable reports how many engine events Arm would schedule for
+// sched under pol — the sequence numbers a cold arm consumes. The fork
+// planner reserves the group-wide maximum at machine construction so
+// ArmReserved can splice each member's faults into cold-run firing order.
+func CountApplicable(pol gpu.Policy, sched Schedule) int {
+	n := 0
+	for _, e := range sched.Events {
+		if applicable(pol, e) {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstApplicableAt reports the cycle of the first fault that would
+// schedule an engine event under pol, and whether any would. The fork
+// planner simulates a sweep group's shared prefix up to just before the
+// earliest such cycle across its members.
+func FirstApplicableAt(pol gpu.Policy, sched Schedule) (event.Cycle, bool) {
+	for _, e := range sched.Events {
+		if applicable(pol, e) {
+			return e.At, true
+		}
+	}
+	return 0, false
+}
+
+// ArmReserved arms sched like Arm, but schedules each fault under a
+// previously reserved sequence number (seqBase + its applicable-event
+// index). The fork planner calls it after restoring a prefix snapshot: the
+// member's machine was built with a matching ReserveSeqs at the point a
+// cold run would Arm, so every fault splices into exactly the calendar
+// position the cold run gives it and same-cycle firing order — and
+// therefore the run's output — is bit-identical. A member consuming fewer
+// than the reserved count leaves trailing reservations unused, which shifts
+// all later sequence numbers uniformly and cannot reorder same-cycle
+// events.
+func ArmReserved(m *gpu.Machine, sched Schedule, seqBase uint64) error {
+	if err := sched.Validate(m.Config().NumCUs); err != nil {
+		return err
+	}
+	seq := seqBase
+	for _, e := range sched.Events {
+		if !applicable(m.Policy(), e) {
+			continue
+		}
+		var fn func()
+		switch e.Op {
+		case CULoss:
+			fn = func() { m.PreemptCU(gpu.CUID(e.CU)) }
+		case CURestore:
+			fn = func() { m.RestoreCU(gpu.CUID(e.CU)) }
+		case DegradeSyncMon:
+			hw := m.Policy().(monitorHardware)
+			fn = func() { hw.SyncMon().Degrade(e.Ways, e.WaitList) }
+		case JitterCP:
+			hw := m.Policy().(monitorHardware)
+			fn = func() {
+				// See Arm: the skew walk lives in snapshotted CP state.
+				hw.CP().SetCadenceJitter(func(state *uint64, base event.Cycle) event.Cycle {
+					if e.MaxSkew == 0 {
+						return base
+					}
+					return base + event.Cycle(splitmix(state)%uint64(e.MaxSkew))
+				}, e.Seed)
+			}
+		}
+		m.Engine().AtWithSeq(e.At, seq, fn)
+		seq++
 	}
 	return nil
 }

@@ -22,6 +22,12 @@ type Config struct {
 	// zero-delay livelocks that never advance the simulated clock, which
 	// neither MaxCycles nor the progress watchdog can terminate.
 	MaxEvents uint64
+	// SnapshotEvery, when non-zero, keeps a ring of periodic machine
+	// snapshots (and the response log that makes them restorable) so a
+	// diagnosed stall can be replayed from the last pre-stall snapshot with
+	// tracing enabled — time-travel debugging for DEADLOCK cells. Costs one
+	// logged word per WG response for the whole run; off by default.
+	SnapshotEvery uint64
 }
 
 // DefaultConfig returns the Table 1 machine: 8 CUs, 2 SIMD units of width

@@ -69,6 +69,16 @@ type Machine struct {
 	wgWait sync.WaitGroup
 
 	jitterState uint64
+
+	// Snapshot machinery (snapshot.go). snapHooks carries policy-side state
+	// in and out of machine snapshots; respLogging records WG responses for
+	// goroutine replay; snapRing is the watchdog's periodic pre-stall
+	// snapshots; replaying suppresses watchdog/ring side effects while a
+	// diagnosis replay re-executes a window of the run.
+	snapHooks   []snapHook
+	respLogging bool
+	replaying   bool
+	snapRing    []*Snapshot
 }
 
 // NewMachine builds a machine for one kernel launch under one policy.
@@ -259,6 +269,10 @@ func (m *Machine) SetStalled(w *WG, stalled bool) {
 // Done reports whether every WG of every kernel has completed.
 func (m *Machine) Done() bool { return m.completed == len(m.allWGs) }
 
+// Deadlocked reports whether the watchdog has declared the run dead (the
+// fork planner checks it to abandon forking when a shared prefix stalls).
+func (m *Machine) Deadlocked() bool { return m.deadlocked }
+
 // --- the WG request loop ---
 
 // start launches a pending WG on cu for the first time.
@@ -278,6 +292,7 @@ func runStartBody(t *event.Task) {
 	m := t.Env[0].(*Machine)
 	w := t.Env[1].(*WG)
 	w.started = true
+	w.live = true
 	w.phaseStart = m.eng.Now()
 	m.progress()
 	m.Trace(w, trace.Start)
@@ -372,6 +387,10 @@ func (m *Machine) step(w *WG, r response) {
 		w.Park(func() { m.step(w, r) })
 		return
 	}
+	w.respCount++
+	if m.respLogging {
+		w.respLog = append(w.respLog, r.val)
+	}
 	w.resp <- r
 	m.receive(w)
 }
@@ -447,6 +466,7 @@ func (m *Machine) handle(w *WG, r request) {
 		m.Trace(w, trace.Finish)
 		w.closePhase(now)
 		w.finished = true
+		w.live = false
 		w.state = StateDone
 		m.sched.cu(w.cu).release(w, m.cfg.SIMDWidth)
 		m.completed++
@@ -527,6 +547,18 @@ func (m *Machine) diagnose(reason string) *metrics.Diagnosis {
 // Run launches the kernel and simulates to completion, deadlock, or the
 // cycle cap. It may be called once.
 func (m *Machine) Run() metrics.Result {
+	m.Prepare()
+	m.RunTo(event.Cycle(m.cfg.MaxCycles))
+	return m.FinishRun()
+}
+
+// Prepare arms the run without driving the engine: the event budget, the
+// first dispatcher kick, the deadlock watchdog and — when SnapshotEvery is
+// set — response logging plus the periodic snapshot ring the time-travel
+// diagnosis replays from. The fork planner uses the Prepare/RunTo/FinishRun
+// decomposition to pause a run at a sweep group's divergence point, snapshot
+// it, and finish it once per forked member. It may be called once.
+func (m *Machine) Prepare() {
 	if m.ran {
 		panic("gpu: Machine.Run called twice")
 	}
@@ -534,23 +566,59 @@ func (m *Machine) Run() metrics.Result {
 	m.eng.SetEventBudget(m.cfg.MaxEvents)
 	m.sched.kick()
 	// Deadlock watchdog: on a full progress window without any WG advancing,
-	// capture a structured diagnosis before stopping the engine.
+	// capture a structured diagnosis before stopping the engine. During a
+	// diagnosis replay the closure must consume the same engine state (fire,
+	// not reschedule) without re-diagnosing, so replays stay cycle- and
+	// seq-identical to the original run.
 	var watch func()
 	watch = func() {
 		if m.Done() {
 			return
 		}
 		if m.eng.Now()-m.lastProgress >= event.Cycle(m.cfg.ProgressWindow) {
-			m.deadlocked = true
-			m.diag = m.diagnose(metrics.ReasonProgressStall)
-			m.eng.Stop()
+			if !m.replaying {
+				m.deadlocked = true
+				m.diag = m.diagnose(metrics.ReasonProgressStall)
+				m.eng.Stop()
+			}
 			return
 		}
 		m.eng.After(event.Cycle(m.cfg.ProgressWindow/4), watch)
 	}
 	m.eng.After(event.Cycle(m.cfg.ProgressWindow/4), watch)
+	if m.cfg.SnapshotEvery > 0 {
+		m.respLogging = true
+		var tick func()
+		tick = func() {
+			if m.Done() {
+				return
+			}
+			// Reschedule before snapshotting so the snapshot carries the
+			// next tick: a replay then consumes identical sequence numbers.
+			m.eng.After(event.Cycle(m.cfg.SnapshotEvery), tick)
+			if !m.replaying {
+				m.pushRingSnapshot()
+			}
+		}
+		m.eng.After(event.Cycle(m.cfg.SnapshotEvery), tick)
+	}
+}
 
-	m.eng.RunUntil(event.Cycle(m.cfg.MaxCycles))
+// RunTo drives the engine to the given cycle (or to a stop, budget
+// exhaustion, or calendar drain, whichever comes first).
+func (m *Machine) RunTo(c event.Cycle) { m.eng.RunUntil(c) }
+
+// SetResponseLogging toggles per-WG response logging. The fork planner turns
+// it on for a sweep group's shared prefix (so member restores can rebuild
+// the program goroutines) and off after the group snapshot, bounding the log
+// at the prefix length.
+func (m *Machine) SetResponseLogging(on bool) { m.respLogging = on }
+
+// FinishRun classifies an unfinished run, renders the time-travel diagnosis
+// when a snapshot ring is armed, tears the WG goroutines down and assembles
+// the result. After a snapshot Restore, RunTo/FinishRun may run again —
+// that is the fork planner's member loop.
+func (m *Machine) FinishRun() metrics.Result {
 	if !m.Done() {
 		m.deadlocked = true
 		if m.diag == nil {
@@ -562,6 +630,9 @@ func (m *Machine) Run() metrics.Result {
 			}
 			m.diag = m.diagnose(reason)
 		}
+	}
+	if m.deadlocked && m.diag != nil && len(m.snapRing) > 0 {
+		m.diag.Trace = m.replayTrace()
 	}
 	end := m.eng.Now()
 	for _, w := range m.allWGs {
@@ -575,8 +646,9 @@ func (m *Machine) Run() metrics.Result {
 // doesn't leak them after a deadlocked run.
 func (m *Machine) abortLiveWGs() {
 	for _, w := range m.allWGs {
-		if w.started && !w.finished {
+		if w.live {
 			w.resp <- response{abort: true}
+			w.live = false
 		}
 	}
 	m.wgWait.Wait()

@@ -1,0 +1,426 @@
+package gpu
+
+import (
+	"fmt"
+	"strings"
+
+	"awgsim/internal/event"
+	"awgsim/internal/hashutil"
+	"awgsim/internal/mem"
+	"awgsim/internal/metrics"
+	"awgsim/internal/trace"
+)
+
+// Machine.Snapshot/Restore capture and rewind the whole simulated GPU: the
+// event calendar, the memory hierarchy, the scheduler queues and CU pools,
+// every WG's runtime state, the Table 2 characterization, and — via the
+// registered snapshot hooks — the attached policy's monitor hardware.
+//
+// The one thing a copy cannot capture is a WG's program counter: programs
+// are ordinary Go code running on goroutines. Snapshots instead exploit the
+// machine's determinism. Between events every live program goroutine is
+// quiescent — blocked in <-w.resp having had its latest request consumed —
+// so a WG's position is fully determined by how many responses it has
+// received (respCount). Restore rebuilds a goroutine by re-running the
+// program from the top and answering its first respCount requests from the
+// response log; the program deterministically re-issues the same requests,
+// so the discarded requests and logged responses line up exactly. When the
+// live goroutine is already at the saved position (the first restore after
+// a snapshot — the fork planner's common case) no surgery happens at all.
+//
+// Host-side state is deliberately excluded: the tracer, diagnostic sinks,
+// the snapshot ring itself, and the engine's task free list are not
+// simulated state. Deep slabs (the paged word store) are shared
+// copy-on-write, so a snapshot costs O(dirty), not O(footprint).
+
+// EpisodeState is implemented by policy episode records stored in
+// WG.PolicyData whose mutable fields must travel with machine snapshots.
+// The calendar's closures keep referencing the same episode object across a
+// restore, so LoadEpisode rewinds the object in place rather than replacing
+// it.
+type EpisodeState interface {
+	SaveEpisode() any
+	LoadEpisode(any)
+}
+
+// snapHook carries one policy-side subsystem in and out of machine
+// snapshots.
+type snapHook struct {
+	save    func() any
+	restore func(any)
+}
+
+// AddSnapshotHook registers policy-side state with the machine's snapshot
+// machinery: save is called by Machine.Snapshot, restore with the saved
+// value by Machine.Restore. Monitor policies use it to bundle their
+// SyncMon/CP/predictor state.
+func (m *Machine) AddSnapshotHook(save func() any, restore func(any)) {
+	m.snapHooks = append(m.snapHooks, snapHook{save: save, restore: restore})
+}
+
+// Snapshot is a point-in-time copy of the Machine's simulated state. It is
+// immutable after capture and may be restored any number of times, on the
+// machine that produced it.
+type Snapshot struct {
+	eng *event.Snapshot
+	mem *mem.Snapshot
+
+	count        Counters
+	completed    int
+	maxWait      uint64
+	lastDoneAt   event.Cycle
+	lastProgress event.Cycle
+	deadlocked   bool
+	diag         *metrics.Diagnosis
+	jitterState  uint64
+
+	kernels []kernelSnap
+	sched   schedSnap
+	cus     []cuSnap
+	wgs     []wgSnap
+	atomics atomicsSnap
+	hooks   []any
+}
+
+// Now reports the simulated cycle at which the snapshot was taken.
+func (s *Snapshot) Now() event.Cycle { return s.eng.Now() }
+
+// Bytes estimates the snapshot's memory footprint (shared COW pages count
+// at pointer cost, so this reflects the O(dirty) fork cost).
+func (s *Snapshot) Bytes() int {
+	n := 256 + s.eng.Bytes() + s.mem.Bytes()
+	n += 24 * len(s.kernels)
+	n += 16 * (len(s.sched.pending) + len(s.sched.readyQueue))
+	n += 16 * len(s.cus)
+	for i := range s.wgs {
+		n += 160 + 8*len(s.wgs[i].parked)
+	}
+	n += 24 * len(s.atomics.charAddrs)
+	for i := range s.atomics.charSlab {
+		c := &s.atomics.charSlab[i]
+		n += 64 + 8*(len(c.wantVals)+len(c.epWGs)+len(c.epCounts)+len(c.updatesPerMet)) + 24*len(c.conds)
+	}
+	for _, h := range s.hooks {
+		if b, ok := h.(interface{ Bytes() int }); ok {
+			n += b.Bytes()
+		}
+	}
+	return n
+}
+
+type kernelSnap struct {
+	completed int
+	launched  event.Cycle
+	doneAt    event.Cycle
+}
+
+type schedSnap struct {
+	pending    []*WG
+	readyQueue []*WG
+	queueSeq   uint64
+	dispFree   event.Cycle
+	kickQueued bool
+}
+
+type cuSnap struct {
+	enabled                   bool
+	wgSlots, wfSlots, ldsFree int
+}
+
+// wgSnap records one WG's mutable runtime state. The resident maps are not
+// saved: w.cu mirrors residency exactly (host sets it, release clears it),
+// so Restore rebuilds each CU's resident set from the WGs — no map
+// iteration anywhere in the snapshot path.
+type wgSnap struct {
+	state          WGState
+	cu             CUID
+	parked         []func()
+	queueSeq       uint64
+	readyWhenSaved bool
+	policyData     any
+	epState        any
+	waiting        bool
+	waitVar        Var
+	waitWant       int64
+	waitCmp        Cmp
+	waitBegan      event.Cycle
+	stalled        bool
+	phaseStart     event.Cycle
+	runningCycles  uint64
+	waitingCycles  uint64
+	started        bool
+	finished       bool
+	forcePreempted bool
+	respCount      int
+	live           bool
+}
+
+type atomicsSnap struct {
+	charIdx   *hashutil.Flat[mem.Addr, int32]
+	charSlab  []varChar
+	charAddrs []mem.Addr
+}
+
+func cloneVarChar(c *varChar) varChar {
+	return varChar{
+		scope:         c.scope,
+		wantVals:      append([]int64(nil), c.wantVals...),
+		conds:         append([]condStat(nil), c.conds...),
+		maxWaiters:    c.maxWaiters,
+		epWGs:         append([]WGID(nil), c.epWGs...),
+		epCounts:      append([]int(nil), c.epCounts...),
+		updatesPerMet: append([]int(nil), c.updatesPerMet...),
+	}
+}
+
+// Snapshot captures the machine's simulated state. It must be called between
+// events (from the driving goroutine, or from within a single event), where
+// every live program goroutine is quiescent.
+func (m *Machine) Snapshot() *Snapshot {
+	sched, ok := m.sched.(*scheduler)
+	if !ok {
+		panic("gpu: Snapshot requires the production scheduler")
+	}
+	au, ok := m.atomics.(*atomicUnit)
+	if !ok {
+		panic("gpu: Snapshot requires the production atomic pipeline")
+	}
+	s := &Snapshot{
+		eng:          m.eng.Snapshot(),
+		mem:          m.mem.Snapshot(),
+		count:        m.Count,
+		completed:    m.completed,
+		maxWait:      m.maxWait,
+		lastDoneAt:   m.lastDoneAt,
+		lastProgress: m.lastProgress,
+		deadlocked:   m.deadlocked,
+		diag:         m.diag,
+		jitterState:  m.jitterState,
+	}
+	s.kernels = make([]kernelSnap, len(m.kernels))
+	for i, kr := range m.kernels {
+		s.kernels[i] = kernelSnap{completed: kr.completed, launched: kr.launched, doneAt: kr.doneAt}
+	}
+	s.sched = schedSnap{
+		pending:    append([]*WG(nil), sched.pending...),
+		readyQueue: append([]*WG(nil), sched.readyQueue...),
+		queueSeq:   sched.queueSeq,
+		dispFree:   sched.dispFree,
+		kickQueued: sched.kickQueued,
+	}
+	s.cus = make([]cuSnap, len(sched.cus))
+	for i, cu := range sched.cus {
+		s.cus[i] = cuSnap{enabled: cu.enabled, wgSlots: cu.wgSlots, wfSlots: cu.wfSlots, ldsFree: cu.ldsFree}
+	}
+	s.wgs = make([]wgSnap, len(m.allWGs))
+	for i, w := range m.allWGs {
+		ws := wgSnap{
+			state:          w.state,
+			cu:             w.cu,
+			parked:         append([]func(){}, w.parked...),
+			queueSeq:       w.queueSeq,
+			readyWhenSaved: w.readyWhenSaved,
+			policyData:     w.PolicyData,
+			waiting:        w.waiting,
+			waitVar:        w.waitVar,
+			waitWant:       w.waitWant,
+			waitCmp:        w.waitCmp,
+			waitBegan:      w.waitBegan,
+			stalled:        w.stalled,
+			phaseStart:     w.phaseStart,
+			runningCycles:  w.runningCycles,
+			waitingCycles:  w.waitingCycles,
+			started:        w.started,
+			finished:       w.finished,
+			forcePreempted: w.forcePreempted,
+			respCount:      w.respCount,
+			live:           w.live,
+		}
+		if ep, ok := w.PolicyData.(EpisodeState); ok {
+			ws.epState = ep.SaveEpisode()
+		}
+		s.wgs[i] = ws
+	}
+	s.atomics = atomicsSnap{
+		charIdx:   au.charIdx.Clone(),
+		charSlab:  make([]varChar, len(au.charSlab)),
+		charAddrs: append([]mem.Addr(nil), au.charAddrs...),
+	}
+	for i := range au.charSlab {
+		s.atomics.charSlab[i] = cloneVarChar(&au.charSlab[i])
+	}
+	for _, h := range m.snapHooks {
+		s.hooks = append(s.hooks, h.save())
+	}
+	return s
+}
+
+// Restore rewinds the machine to the snapshot: engine calendar, memory,
+// machine bookkeeping, subsystems, WG runtime state (including program
+// goroutine surgery) and the hooked policy state. A restored machine
+// continues with RunTo/FinishRun and is bit-identical to a run that was
+// never interrupted.
+func (m *Machine) Restore(s *Snapshot) {
+	sched := m.sched.(*scheduler)
+	au := m.atomics.(*atomicUnit)
+	m.eng.Restore(s.eng)
+	m.mem.Restore(s.mem)
+	m.Count = s.count
+	m.completed = s.completed
+	m.maxWait = s.maxWait
+	m.lastDoneAt = s.lastDoneAt
+	m.lastProgress = s.lastProgress
+	m.deadlocked = s.deadlocked
+	m.diag = s.diag
+	m.jitterState = s.jitterState
+	for i, kr := range m.kernels {
+		ks := &s.kernels[i]
+		kr.completed, kr.launched, kr.doneAt = ks.completed, ks.launched, ks.doneAt
+	}
+	sched.pending = append(sched.pending[:0], s.sched.pending...)
+	sched.readyQueue = append(sched.readyQueue[:0], s.sched.readyQueue...)
+	sched.queueSeq = s.sched.queueSeq
+	sched.dispFree = s.sched.dispFree
+	sched.kickQueued = s.sched.kickQueued
+	for i, cu := range sched.cus {
+		cs := &s.cus[i]
+		cu.enabled, cu.wgSlots, cu.wfSlots, cu.ldsFree = cs.enabled, cs.wgSlots, cs.wfSlots, cs.ldsFree
+		clear(cu.resident)
+	}
+	for i, w := range m.allWGs {
+		m.restoreWG(w, &s.wgs[i])
+		if w.cu != NoCU {
+			sched.cus[w.cu].resident[w.id] = w
+		}
+	}
+	au.charIdx.CopyFrom(s.atomics.charIdx)
+	au.charSlab = au.charSlab[:0]
+	for i := range s.atomics.charSlab {
+		au.charSlab = append(au.charSlab, cloneVarChar(&s.atomics.charSlab[i]))
+	}
+	au.charAddrs = append(au.charAddrs[:0], s.atomics.charAddrs...)
+	for i, h := range m.snapHooks {
+		h.restore(s.hooks[i])
+	}
+}
+
+// restoreWG rewinds one WG, rebuilding its program goroutine when the saved
+// position differs from the live one.
+func (m *Machine) restoreWG(w *WG, ws *wgSnap) {
+	// Goroutine surgery first: a live goroutine already at the saved
+	// position (first restore after a snapshot) is kept; anything else is
+	// aborted and, if the snapshot had a live goroutine, replayed back into
+	// position from the response log.
+	inPlace := w.live && ws.live && w.respCount == ws.respCount
+	if w.live && !inPlace {
+		w.resp <- response{abort: true}
+		w.live = false
+	}
+	w.state = ws.state
+	w.cu = ws.cu
+	w.parked = append(w.parked[:0], ws.parked...)
+	w.queueSeq = ws.queueSeq
+	w.readyWhenSaved = ws.readyWhenSaved
+	w.PolicyData = ws.policyData
+	if ws.epState != nil {
+		ws.policyData.(EpisodeState).LoadEpisode(ws.epState)
+	}
+	w.waiting = ws.waiting
+	w.waitVar, w.waitWant, w.waitCmp, w.waitBegan = ws.waitVar, ws.waitWant, ws.waitCmp, ws.waitBegan
+	w.stalled = ws.stalled
+	w.phaseStart = ws.phaseStart
+	w.runningCycles = ws.runningCycles
+	w.waitingCycles = ws.waitingCycles
+	w.started = ws.started
+	w.finished = ws.finished
+	w.forcePreempted = ws.forcePreempted
+	// The log is append-only and its content deterministic, so rewinding is
+	// a truncation; a later-state restore after a replay regenerated the
+	// same entries finds them already in place.
+	if len(w.respLog) > ws.respCount {
+		w.respLog = w.respLog[:ws.respCount]
+	}
+	w.respCount = ws.respCount
+	if ws.live && !inPlace {
+		m.respawnWG(w, ws.respCount)
+	}
+}
+
+// respawnWG rebuilds w's program goroutine at position k: the deterministic
+// program re-runs from the top, each of its first k requests is discarded
+// and answered from the response log, and the (k+1)-th request — the one
+// that was in flight at the snapshot — is consumed, leaving the goroutine
+// blocked awaiting the response event already on the restored calendar.
+func (m *Machine) respawnWG(w *WG, k int) {
+	if len(w.respLog) < k {
+		panic(fmt.Sprintf("gpu: restoring %v needs %d logged responses, have %d; enable response logging before the run", w, k, len(w.respLog)))
+	}
+	dev := &wgDevice{w: w, numWGs: w.spec.NumWGs}
+	w.live = true
+	m.wgWait.Add(1)
+	go func() {
+		defer m.wgWait.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSentinel); !ok {
+					panic(r)
+				}
+			}
+		}()
+		w.spec.Program(dev)
+		w.req <- request{kind: reqDone}
+	}()
+	for i := 0; i < k; i++ {
+		<-w.req
+		w.resp <- response{val: w.respLog[i]}
+	}
+	<-w.req
+}
+
+// snapRingSize bounds the time-travel ring: the newest few periodic
+// snapshots are enough to find one just before the stall.
+const snapRingSize = 4
+
+// pushRingSnapshot appends a periodic snapshot, dropping the oldest beyond
+// the ring size.
+func (m *Machine) pushRingSnapshot() {
+	sn := m.Snapshot()
+	if len(m.snapRing) == snapRingSize {
+		copy(m.snapRing, m.snapRing[1:])
+		m.snapRing[snapRingSize-1] = sn
+		return
+	}
+	m.snapRing = append(m.snapRing, sn)
+}
+
+// replayTrace re-executes the window before a diagnosed stall with tracing
+// enabled and renders the timeline: the machine rewinds to the newest ring
+// snapshot at or before the last progress event, runs to the diagnosis
+// cycle recording every scheduling event, then restores its end state. The
+// replay is cycle- and seq-identical to the original run (the watchdog and
+// ring closures consume identical engine state under m.replaying), except
+// that a JitterCP window replays against the jitter stream's advanced state
+// — acceptable for a diagnostic artifact.
+func (m *Machine) replayTrace() string {
+	diag := m.diag
+	endSnap := m.Snapshot()
+	pick := m.snapRing[0]
+	for _, sn := range m.snapRing {
+		if uint64(sn.Now()) <= diag.LastProgress {
+			pick = sn
+		}
+	}
+	rec := trace.NewRecorder(100_000)
+	oldTracer := m.tracer
+	m.replaying = true
+	m.Restore(pick)
+	m.tracer = rec
+	m.RunTo(event.Cycle(diag.AtCycle))
+	m.tracer = oldTracer
+	m.Restore(endSnap)
+	m.replaying = false
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay of cycles %d..%d (%s):\n", uint64(pick.Now()), diag.AtCycle, rec.Signature())
+	b.WriteString(rec.Timeline(100))
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fieldNames returns a struct type's field names in declaration order.
+func fieldNames(v any) []string {
+	rt := reflect.TypeOf(v)
+	names := make([]string, rt.NumField())
+	for i := range names {
+		names[i] = rt.Field(i).Name
+	}
+	return names
+}
+
+// TestSnapshotCoversMachine pins the field lists of the machine's stateful
+// structs. If one fails, a field was added (or renamed): decide whether it
+// is replayable state, teach Snapshot()/Restore() about it — save it or
+// document it as host-side — and update the list here.
+func TestSnapshotCoversMachine(t *testing.T) {
+	// Covered: eng, mem, Count, completed, maxWait, lastDoneAt,
+	// lastProgress, deadlocked, diag, jitterState, kernels, sched (+ its
+	// CUs), wgs, atomics, and the attached hook states. Excluded: cfg/spec/
+	// pol/ctx (immutable or stateless wiring), allWGs (identity list; the
+	// WGs themselves are saved), tracer (host-side observer), ran (Run
+	// lifecycle guard), diagSinks/snapHooks (registration lists), wgWait
+	// (goroutine bookkeeping), respLogging/replaying/snapRing (the snapshot
+	// machinery itself).
+	machine := []string{
+		"cfg", "eng", "mem", "spec", "pol", "sched", "atomics", "ctx",
+		"wgs", "kernels", "allWGs", "Count", "tracer", "completed",
+		"maxWait", "lastDoneAt", "lastProgress", "deadlocked", "ran",
+		"diag", "diagSinks", "wgWait", "jitterState", "snapHooks",
+		"respLogging", "replaying", "snapRing",
+	}
+	// Covered: every mutable field (state through live, plus respCount).
+	// Excluded: id/spec/kr/home/inGrp/grpSz (immutable identity), req/resp
+	// (channels; goroutine position is reconstructed from respCount and
+	// respLog), respLog (managed by Restore's truncate-and-replay, not
+	// copied into each snapshot).
+	wg := []string{
+		"id", "spec", "kr", "home", "inGrp", "grpSz", "state", "cu",
+		"req", "resp", "parked", "queueSeq", "readyWhenSaved", "PolicyData",
+		"waiting", "waitVar", "waitWant", "waitCmp", "waitBegan", "stalled",
+		"phaseStart", "runningCycles", "waitingCycles", "started",
+		"finished", "forcePreempted", "respLog", "respCount", "live",
+	}
+	// Covered: pending, readyQueue, queueSeq, dispFree, kickQueued, and per
+	// CU enabled/wgSlots/wfSlots/ldsFree (resident maps are rebuilt from
+	// each WG's cu field). Excluded: m (wiring), kickFn (hoisted closure).
+	sched := []string{
+		"m", "cus", "pending", "readyQueue", "queueSeq", "dispFree",
+		"kickQueued", "kickFn",
+	}
+	cu := []string{"id", "enabled", "wgSlots", "wfSlots", "ldsFree", "resident"}
+	// Covered: charIdx, charSlab (deep-cloned), charAddrs. Excluded: m
+	// (wiring), observers (registration list, fixed after construction).
+	atomics := []string{"m", "observers", "charIdx", "charSlab", "charAddrs"}
+	// Covered in full by kernelSnap (spec/priority/wgs are immutable
+	// identity; completed/launched/doneAt are the mutable trio).
+	kernel := []string{"spec", "priority", "wgs", "completed", "launched", "doneAt"}
+	for _, c := range []struct {
+		name string
+		got  []string
+		want []string
+	}{
+		{"gpu.Machine", fieldNames(Machine{}), machine},
+		{"gpu.WG", fieldNames(WG{}), wg},
+		{"gpu.scheduler", fieldNames(scheduler{}), sched},
+		{"gpu.computeUnit", fieldNames(computeUnit{}), cu},
+		{"gpu.atomicUnit", fieldNames(atomicUnit{}), atomics},
+		{"gpu.kernelRun", fieldNames(kernelRun{}), kernel},
+	} {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Errorf("%s fields changed without updating Snapshot():\n  got  %v\n  want %v", c.name, c.got, c.want)
+		}
+	}
+}

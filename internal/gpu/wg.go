@@ -93,6 +93,19 @@ type WG struct {
 	started        bool
 	finished       bool
 	forcePreempted bool
+
+	// respCount counts every response the machine has delivered to the
+	// program goroutine; with response logging on, respLog also records the
+	// values. Together they let a snapshot restore rebuild the goroutine at
+	// an exact program position: the deterministic program is re-run from the
+	// top with its first respCount requests answered from the log (see
+	// Machine.restoreWG).
+	respLog   []int64
+	respCount int
+	// live is true while the program goroutine exists. Machine-owned (never
+	// written from the WG goroutine, so snapshots read it race-free): set
+	// when the goroutine is (re)spawned, cleared at reqDone or abort.
+	live bool
 }
 
 // ID reports the dispatcher-assigned work-group ID.

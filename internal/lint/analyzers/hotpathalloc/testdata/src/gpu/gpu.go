@@ -30,4 +30,22 @@ func (m *machine) capturingTaskFunc() {
 	m.eng.NewTask(func(t *event.Task) { m.n++ }) // want `capturing closure \(m\) scheduled via Engine\.NewTask`
 }
 
+// snapshotRing mirrors the machine's periodic snapshot-ring arming: the
+// tick closure is built once at Prepare and rescheduled by identifier, so
+// only the naive per-tick literal is a finding.
+func (m *machine) snapshotRing(every event.Cycle) {
+	var tick func()
+	tick = func() {
+		m.eng.After(every, tick) // identifier at the call site: hoisted once
+		m.n++                    // stand-in for pushRingSnapshot
+	}
+	m.eng.After(every, tick)
+}
+
+func (m *machine) snapshotRingNaive(every event.Cycle) {
+	m.eng.After(every, func() { // want `capturing closure \(m, every\) scheduled via Engine\.After`
+		m.snapshotRingNaive(every) // reschedules by allocating a fresh closure per tick
+	})
+}
+
 func runStep(t *event.Task) { t.Env[0].(*machine).n++ }

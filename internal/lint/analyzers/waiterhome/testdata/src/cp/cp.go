@@ -43,3 +43,16 @@ func (p *Processor) checkPass() {
 		}
 	}
 }
+
+// Restore is the approved whole-home rewind: every container is rewritten
+// from one snapshot image, so no waiter can end up split across homes.
+func (p *Processor) Restore(order []int64, removed map[int64]bool) {
+	p.order = append(p.order[:0], order...) // approved: Restore is a transfer function
+	p.removed = removed                     // approved: Restore is a transfer function
+}
+
+// rewind is NOT an approved name: snapshot-style rewrites must live in the
+// named snapshot layer, not be scattered under ad-hoc names.
+func (p *Processor) rewind(order []int64) {
+	p.order = order // want `Processor\.order holds single-home waiter state`
+}

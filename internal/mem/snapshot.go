@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"awgsim/internal/event"
+	"awgsim/internal/hashutil"
+)
+
+// Snapshot/Restore for the memory hierarchy. The functional word store is
+// the one structure big enough to deserve copy-on-write: a snapshot shares
+// the store's pages (copying only the page-pointer slice and the directory)
+// and marks them shared; the store clones a page on its first post-snapshot
+// write. Everything else — tag arrays, bank/channel reservations, activity
+// counters — is copied eagerly; those are small and fully overwritten by a
+// restore anyway.
+
+// Snapshot is a point-in-time copy of a System's simulated state. It is
+// immutable after capture and may be restored any number of times, on the
+// system that produced it.
+type Snapshot struct {
+	values    *wordStoreSnap
+	l1        []*cacheSnap
+	l2        *cacheSnap
+	bankFree  []event.Cycle
+	localFree []event.Cycle
+	chanFree  []event.Cycle
+	stats     Stats
+}
+
+// Snapshot captures the hierarchy's mutable state: functional values (pages
+// shared copy-on-write), cache tag arrays, bank/local/channel reservations,
+// and the activity counters.
+func (s *System) Snapshot() *Snapshot {
+	sn := &Snapshot{
+		values:    s.values.snapshot(),
+		l1:        make([]*cacheSnap, len(s.l1)),
+		l2:        s.l2.snapshot(),
+		bankFree:  append([]event.Cycle(nil), s.bankFree...),
+		localFree: append([]event.Cycle(nil), s.localFree...),
+		chanFree:  append([]event.Cycle(nil), s.chanFree...),
+		stats:     s.stats,
+	}
+	for i, c := range s.l1 {
+		sn.l1[i] = c.snapshot()
+	}
+	return sn
+}
+
+// Restore rewinds the hierarchy to the snapshot. The word store's pages
+// become shared with the snapshot again, so the snapshot survives further
+// mutation and repeated restores.
+func (s *System) Restore(sn *Snapshot) {
+	s.values.restore(sn.values)
+	for i, c := range s.l1 {
+		c.restore(sn.l1[i])
+	}
+	s.l2.restore(sn.l2)
+	copy(s.bankFree, sn.bankFree)
+	copy(s.localFree, sn.localFree)
+	copy(s.chanFree, sn.chanFree)
+	s.stats = sn.stats
+}
+
+// Bytes estimates the snapshot's memory footprint. Shared word-store pages
+// count only their pointer — the whole point of the copy-on-write split.
+func (sn *Snapshot) Bytes() int {
+	n := 64 + sn.values.bytes() + sn.l2.bytes()
+	for _, c := range sn.l1 {
+		n += c.bytes()
+	}
+	n += 8 * (len(sn.bankFree) + len(sn.localFree) + len(sn.chanFree))
+	return n
+}
+
+// wordStoreSnap is a point-in-time copy of the word store: a directory clone
+// plus the page-pointer slice. The pages themselves are shared with the live
+// store until it writes to one.
+type wordStoreSnap struct {
+	dir      *hashutil.Flat[uint64, int32]
+	pages    [][]int64
+	lastPage uint64
+	lastIdx  int32
+}
+
+func (w *wordStore) snapshot() *wordStoreSnap {
+	sn := &wordStoreSnap{
+		dir:      w.dir.Clone(),
+		pages:    append([][]int64(nil), w.pages...),
+		lastPage: w.lastPage,
+		lastIdx:  w.lastIdx,
+	}
+	for i := range w.shared {
+		w.shared[i] = true
+	}
+	return sn
+}
+
+func (w *wordStore) restore(sn *wordStoreSnap) {
+	w.dir.CopyFrom(sn.dir)
+	w.pages = w.pages[:0]
+	w.pages = append(w.pages, sn.pages...)
+	w.shared = w.shared[:0]
+	for range w.pages {
+		w.shared = append(w.shared, true)
+	}
+	w.lastPage, w.lastIdx = sn.lastPage, sn.lastIdx
+}
+
+func (sn *wordStoreSnap) bytes() int {
+	// Directory slots (key + val + used flag) plus one pointer per shared
+	// page; the page payloads belong to the live store.
+	return 13*sn.dir.Len() + 24*len(sn.pages)
+}
+
+// cacheSnap is a point-in-time copy of one tag array.
+type cacheSnap struct {
+	lines        []cacheLine
+	hits, misses uint64
+	pinnedCount  int
+	lruClock     uint64
+}
+
+func (c *Cache) snapshot() *cacheSnap {
+	return &cacheSnap{
+		lines:       append([]cacheLine(nil), c.lines...),
+		hits:        c.hits,
+		misses:      c.misses,
+		pinnedCount: c.pinnedCount,
+		lruClock:    c.lruClock,
+	}
+}
+
+func (c *Cache) restore(sn *cacheSnap) {
+	copy(c.lines, sn.lines)
+	c.hits, c.misses = sn.hits, sn.misses
+	c.pinnedCount = sn.pinnedCount
+	c.lruClock = sn.lruClock
+}
+
+func (sn *cacheSnap) bytes() int { return 32 * len(sn.lines) }

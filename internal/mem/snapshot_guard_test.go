@@ -1,0 +1,53 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fieldNames returns a struct type's field names in declaration order.
+func fieldNames(v any) []string {
+	rt := reflect.TypeOf(v)
+	names := make([]string, rt.NumField())
+	for i := range names {
+		names[i] = rt.Field(i).Name
+	}
+	return names
+}
+
+// TestSnapshotCoversSystem pins the field lists of every stateful memory
+// struct. If one fails, a field was added (or renamed): decide whether it
+// is replayable state, teach Snapshot()/Restore() about it, and update the
+// list here.
+func TestSnapshotCoversSystem(t *testing.T) {
+	// Covered: values, l1, l2, bankFree, localFree, chanFree, stats.
+	// Excluded: cfg/eng (construction wiring), lineShift/bankMask/chanMask/
+	// pow2Banks/pow2Chans (derived from cfg, immutable).
+	system := []string{
+		"cfg", "eng", "values", "l1", "l2", "bankFree", "localFree",
+		"chanFree", "lineShift", "bankMask", "chanMask", "pow2Banks",
+		"pow2Chans", "stats",
+	}
+	// Covered: dir, pages, lastPage, lastIdx (pages copy-on-write).
+	// Excluded: shared — the COW bookkeeping itself; Restore re-marks it.
+	words := []string{"dir", "pages", "shared", "lastPage", "lastIdx"}
+	// Covered: lines, hits, misses, pinnedCount, lruClock.
+	// Excluded: the geometry fields, immutable after construction.
+	cache := []string{
+		"sets", "ways", "lineSize", "lines", "lineShift", "setMask",
+		"setShift", "pow2", "hits", "misses", "pinnedCount", "lruClock",
+	}
+	for _, c := range []struct {
+		name string
+		got  []string
+		want []string
+	}{
+		{"mem.System", fieldNames(System{}), system},
+		{"mem.wordStore", fieldNames(wordStore{}), words},
+		{"mem.Cache", fieldNames(Cache{}), cache},
+	} {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Errorf("%s fields changed without updating Snapshot():\n  got  %v\n  want %v", c.name, c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fieldNames returns a struct type's field names in declaration order.
+func fieldNames(v any) []string {
+	rt := reflect.TypeOf(v)
+	names := make([]string, rt.NumField())
+	for i := range names {
+		names[i] = rt.Field(i).Name
+	}
+	return names
+}
+
+// TestSnapshotCoversEpisodes pins the field lists of the per-WG episode
+// structs the snapshot layer saves through gpu.EpisodeState. If one fails,
+// a field was added (or renamed): decide whether it mutates across the
+// episode's retries — if so it belongs in SaveEpisode/LoadEpisode — and
+// update the list here.
+func TestSnapshotCoversEpisodes(t *testing.T) {
+	// episodeState saves the six fields that change between retries:
+	// waiting, justWoken, earlyWake, registeredAt, reg, lastRet. The rest
+	// are fixed when the episode is built (condition identity, hoisted
+	// closures, bank/response wiring) and survive in the episode object the
+	// restored calendar still references.
+	episodeFields := []string{
+		"v", "op", "a", "b", "want", "cmp", "done", "waiting", "justWoken",
+		"earlyWake", "registeredAt", "reg", "lastRet", "retry", "atBank",
+		"onResp", "armBank", "armResp", "fire", "onFireLoad", "predExpire",
+	}
+	stateFields := []string{
+		"waiting", "justWoken", "earlyWake", "registeredAt", "reg", "lastRet",
+	}
+	// backoffEpisode saves in full: backoff is its only mutable field.
+	backoffFields := []string{"backoff"}
+	// Monitor bundles SyncMon + CP + predictor states via monitorSnap.
+	monitorSnapFields := []string{"sm", "cpp", "pred", "stall"}
+	for _, c := range []struct {
+		name string
+		got  []string
+		want []string
+	}{
+		{"policy.episode", fieldNames(episode{}), episodeFields},
+		{"policy.episodeState", fieldNames(episodeState{}), stateFields},
+		{"policy.backoffEpisode", fieldNames(backoffEpisode{}), backoffFields},
+		{"policy.monitorSnap", fieldNames(monitorSnap{}), monitorSnapFields},
+	} {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Errorf("%s fields changed without updating the episode snapshot:\n  got  %v\n  want %v", c.name, c.got, c.want)
+		}
+	}
+}

@@ -39,17 +39,31 @@ func RunAll(jobs []Job) []Outcome {
 // RunAllWorkers is RunAll with an explicit worker count; n <= 0 selects
 // GOMAXPROCS. n == 1 reproduces the serial path exactly (same order, same
 // goroutine).
+//
+// Jobs are first partitioned into work units by the fork planner
+// (forkplan.go): configs identical except for their fault schedules become
+// one unit that simulates the shared prefix once and forks each member from
+// a snapshot. Forking changes wall-clock only — each outcome stays
+// bit-identical to its cold run and lands at its job's index.
 func RunAllWorkers(jobs []Job, n int) []Outcome {
+	units := planUnits(jobs)
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	if n > len(jobs) {
-		n = len(jobs)
+	if n > len(units) {
+		n = len(units)
 	}
 	out := make([]Outcome, len(jobs))
+	runUnit := func(u unit) {
+		if u.group != nil {
+			u.group.run(jobs, out)
+			return
+		}
+		out[u.single] = runJob(jobs[u.single])
+	}
 	if n <= 1 {
-		for i := range jobs {
-			out[i] = runJob(jobs[i])
+		for _, u := range units {
+			runUnit(u)
 		}
 		return out
 	}
@@ -61,10 +75,10 @@ func RunAllWorkers(jobs []Job, n int) []Outcome {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
+				if i >= len(units) {
 					return
 				}
-				out[i] = runJob(jobs[i])
+				runUnit(units[i])
 			}
 		}()
 	}

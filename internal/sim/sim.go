@@ -101,6 +101,12 @@ func (c *Config) fill() error {
 	if c.GPU.NumCUs == 0 {
 		c.GPU = gpu.DefaultConfig()
 	}
+	if c.GPU.SnapshotEvery == 0 {
+		// The process-wide default (awgexp -snapshot-every) flows through the
+		// config — and therefore the run-cache fingerprint, since a snapshot
+		// ring changes the engine's event stream.
+		c.GPU.SnapshotEvery = snapshotEveryDefault.Load()
+	}
 	if c.Mem.LineSize == 0 {
 		c.Mem = mem.DefaultConfig()
 	}
@@ -134,10 +140,25 @@ type Session struct {
 
 	injected    gpu.KernelHandle
 	hasInjected bool
+
+	// seqBase is the first of the engine sequence numbers reserved in place
+	// of fault arming (fork-planner prefix sessions only; see newSession).
+	seqBase uint64
 }
 
 // NewSession builds a simulation from cfg without running it.
 func NewSession(cfg Config) (*Session, error) {
+	return newSession(cfg, 0)
+}
+
+// newSession builds a simulation, optionally reserving engine sequence
+// numbers where fault arming would occur. The fork planner builds a sweep
+// group's shared-prefix session with Faults == nil and reserve set to the
+// group's largest applicable-event count: the reservation happens at
+// exactly the construction point fault.Arm would consume those numbers, so
+// a member's faults can later be spliced in (fault.ArmReserved) at the
+// calendar positions a cold run gives them.
+func newSession(cfg Config, reserve int) (*Session, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -171,12 +192,14 @@ func NewSession(cfg Config) (*Session, error) {
 		last := gpu.CUID(cfg.GPU.NumCUs - 1)
 		m.Engine().At(cfg.PreemptAt, func() { m.PreemptCU(last) })
 	}
+	s := &Session{cfg: cfg, m: m, verify: verifyFn}
 	if cfg.Faults != nil {
 		if err := fault.Arm(m, *cfg.Faults); err != nil {
 			return nil, err
 		}
+	} else if reserve > 0 {
+		s.seqBase = m.Engine().ReserveSeqs(reserve)
 	}
-	s := &Session{cfg: cfg, m: m, verify: verifyFn}
 	if inj := cfg.Inject; inj != nil {
 		h, err := m.InjectKernel(inj.Spec, inj.At, inj.Priority)
 		if err != nil {

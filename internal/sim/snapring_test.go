@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSnapshotRingAttachesTrace drives the time-travel diagnosis end to
+// end: an oversubscribed Baseline launch deadlocks (residents spin at the
+// exit barrier, pending WGs can never dispatch), and running it with a
+// snapshot ring must (a) leave every simulated observable identical to the
+// ring-less run — the ring is pure instrumentation — and (b) attach the
+// replayed pre-stall timeline to the diagnosis.
+func TestSnapshotRingAttachesTrace(t *testing.T) {
+	cfg := quickConfig("SPM_G", "Baseline", false, 0)
+	cfg.Params.NumWGs = 2 * cfg.GPU.NumCUs * cfg.GPU.MaxWGsPerCU
+
+	coldSession, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes := coldSession.Machine().Run()
+	if coldRes.Diagnosis == nil {
+		t.Fatal("oversubscribed Baseline run did not produce a diagnosis")
+	}
+	if coldRes.Diagnosis.Trace != "" {
+		t.Fatalf("ring-less run attached a trace:\n%s", coldRes.Diagnosis.Trace)
+	}
+
+	ringCfg := cfg
+	ringCfg.GPU.SnapshotEvery = 100_000
+	ringSession, err := NewSession(ringCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringRes := ringSession.Machine().Run()
+	if ringRes.Diagnosis == nil {
+		t.Fatal("ring run did not produce a diagnosis")
+	}
+	if ringRes.Diagnosis.Trace == "" {
+		t.Fatal("snapshot ring run attached no pre-stall trace")
+	}
+	if !strings.Contains(ringRes.Diagnosis.String(), "pre-stall trace") {
+		t.Errorf("diagnosis rendering omits the trace:\n%s", ringRes.Diagnosis.String())
+	}
+
+	// The ring must not perturb the simulation: identical results and an
+	// identical diagnosis apart from the attached trace.
+	if got, want := ringRes.Diagnosis.Summary(), coldRes.Diagnosis.Summary(); got != want {
+		t.Errorf("ring run diagnosis diverged:\n  ring: %s\n  cold: %s", got, want)
+	}
+	ringRes.Diagnosis.Trace = ""
+	if got, want := ringRes.Diagnosis.String(), coldRes.Diagnosis.String(); got != want {
+		t.Errorf("ring run diagnosis body diverged:\n  ring: %s\n  cold: %s", got, want)
+	}
+	ringNorm, _ := normalize(ringRes)
+	coldNorm, _ := normalize(coldRes)
+	if ringNorm != coldNorm {
+		t.Errorf("ring run result diverged:\n  ring: %+v\n  cold: %+v", ringNorm, coldNorm)
+	}
+}

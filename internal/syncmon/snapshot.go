@@ -1,0 +1,130 @@
+package syncmon
+
+import (
+	"awgsim/internal/hashutil"
+	"awgsim/internal/mem"
+)
+
+// Snapshot/Restore for the SyncMon. The condition slab, waiter slab and set
+// arrays are flat POD — PR 5's layout makes a snapshot a handful of slice
+// copies with no per-entry work. The observe() scratch slices are excluded:
+// their contents never survive a call, so they are allocator state, not
+// simulated state.
+
+// Snapshot is a point-in-time copy of a SyncMon's simulated state. It is
+// immutable after capture and may be restored any number of times, on the
+// monitor that produced it.
+type Snapshot struct {
+	cfg     Config // Ways/WaitListSize mutate under Degrade
+	store   storeSnap
+	waiters int
+	log     logSnap
+
+	maxConds, maxWaiters, maxMonitored int
+	conds                              int
+}
+
+// Snapshot captures the monitor's mutable state: the condition cache slabs,
+// the waiter count, the Monitor Log ring, the (fault-degradable) geometry
+// and the high-water marks.
+func (s *SyncMon) Snapshot() *Snapshot {
+	return &Snapshot{
+		cfg:          s.cfg,
+		store:        s.store.snapshot(),
+		waiters:      s.waiters,
+		log:          s.log.snapshot(),
+		maxConds:     s.maxConds,
+		maxWaiters:   s.maxWaiters,
+		maxMonitored: s.maxMonitored,
+		conds:        s.conds,
+	}
+}
+
+// Restore rewinds the monitor to the snapshot.
+func (s *SyncMon) Restore(sn *Snapshot) {
+	s.cfg = sn.cfg
+	s.store.restore(&sn.store)
+	s.waiters = sn.waiters
+	s.log.restore(&sn.log)
+	s.maxConds, s.maxWaiters, s.maxMonitored = sn.maxConds, sn.maxWaiters, sn.maxMonitored
+	s.conds = sn.conds
+}
+
+// Bytes estimates the snapshot's memory footprint.
+func (sn *Snapshot) Bytes() int {
+	return 128 + sn.store.bytes() + sn.log.bytes()
+}
+
+// storeSnap is a point-in-time copy of a condStore's slabs and index.
+type storeSnap struct {
+	setEnt  []int32
+	setLen  []int32
+	ents    []condSlot
+	freeEnt int32
+	wnodes  []waiterSlot
+	freeW   int32
+	byAddr  *hashutil.Flat[mem.Addr, addrState]
+}
+
+// snapshot copies the store's slabs; stride is construction-immutable and
+// stays on the live store.
+func (cs *condStore) snapshot() storeSnap {
+	return storeSnap{
+		setEnt:  append([]int32(nil), cs.setEnt...),
+		setLen:  append([]int32(nil), cs.setLen...),
+		ents:    append([]condSlot(nil), cs.ents...),
+		freeEnt: cs.freeEnt,
+		wnodes:  append([]waiterSlot(nil), cs.wnodes...),
+		freeW:   cs.freeW,
+		byAddr:  cs.byAddr.Clone(),
+	}
+}
+
+// restore overwrites the store's slabs from the snapshot. The slabs'
+// backing arrays are fixed-capacity (pointer stability), so shrinking back
+// to the snapshot length reuses them and allocates nothing.
+func (cs *condStore) restore(sn *storeSnap) {
+	copy(cs.setEnt, sn.setEnt)
+	copy(cs.setLen, sn.setLen)
+	cs.ents = cs.ents[:len(sn.ents)]
+	copy(cs.ents, sn.ents)
+	cs.freeEnt = sn.freeEnt
+	cs.wnodes = cs.wnodes[:len(sn.wnodes)]
+	copy(cs.wnodes, sn.wnodes)
+	cs.freeW = sn.freeW
+	cs.byAddr.CopyFrom(sn.byAddr)
+}
+
+func (sn *storeSnap) bytes() int {
+	return 4*(len(sn.setEnt)+len(sn.setLen)) + 40*len(sn.ents) +
+		24*len(sn.wnodes) + 24*sn.byAddr.Len()
+}
+
+// logSnap is a point-in-time copy of the Monitor Log ring.
+type logSnap struct {
+	entries []LogEntry
+	dead    []bool
+	head    int
+	size    int
+	live    int
+	maxLive int
+}
+
+func (l *MonitorLog) snapshot() logSnap {
+	return logSnap{
+		entries: append([]LogEntry(nil), l.entries...),
+		dead:    append([]bool(nil), l.dead...),
+		head:    l.head,
+		size:    l.size,
+		live:    l.live,
+		maxLive: l.maxLive,
+	}
+}
+
+func (l *MonitorLog) restore(sn *logSnap) {
+	copy(l.entries, sn.entries)
+	copy(l.dead, sn.dead)
+	l.head, l.size, l.live, l.maxLive = sn.head, sn.size, sn.live, sn.maxLive
+}
+
+func (sn *logSnap) bytes() int { return 33*len(sn.entries) + 24 }

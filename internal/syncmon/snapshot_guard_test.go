@@ -1,0 +1,52 @@
+package syncmon
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fieldNames returns a struct type's field names in declaration order.
+func fieldNames(v any) []string {
+	rt := reflect.TypeOf(v)
+	names := make([]string, rt.NumField())
+	for i := range names {
+		names[i] = rt.Field(i).Name
+	}
+	return names
+}
+
+// TestSnapshotCoversSyncMon pins the field lists of the monitor's stateful
+// structs. If one fails, a field was added (or renamed): decide whether it
+// is replayable state, teach Snapshot()/Restore() about it, and update the
+// list here.
+func TestSnapshotCoversSyncMon(t *testing.T) {
+	// Covered: cfg (Degrade mutates it), store, waiters, log, maxConds,
+	// maxWaiters, maxMonitored, conds. Excluded: m/hash/selector/wake
+	// (wiring and stateless helpers), *Scratch (transient per-call buffers,
+	// always empty between events).
+	syncMon := []string{
+		"cfg", "m", "hash", "store", "waiters", "log", "selector", "wake",
+		"maxConds", "maxWaiters", "maxMonitored", "conds",
+		"metScratch", "wakeScratch", "clsScratch",
+	}
+	// Covered: everything but stride, which is immutable geometry.
+	store := []string{
+		"stride", "setEnt", "setLen", "ents", "freeEnt", "wnodes", "freeW",
+		"byAddr",
+	}
+	// Covered in full: the ring is pure replayable state.
+	ring := []string{"entries", "dead", "head", "size", "live", "maxLive"}
+	for _, c := range []struct {
+		name string
+		got  []string
+		want []string
+	}{
+		{"syncmon.SyncMon", fieldNames(SyncMon{}), syncMon},
+		{"syncmon.condStore", fieldNames(condStore{}), store},
+		{"syncmon.MonitorLog", fieldNames(MonitorLog{}), ring},
+	} {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Errorf("%s fields changed without updating Snapshot():\n  got  %v\n  want %v", c.name, c.got, c.want)
+		}
+	}
+}
