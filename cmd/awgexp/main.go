@@ -219,6 +219,11 @@ func main() {
 					out += ex + "\n"
 				}
 			}
+			if e.ID == "fleet" {
+				if ex, exErr := experiments.FleetWorkedExample(opts); exErr == nil {
+					out += ex + "\n"
+				}
+			}
 			fmt.Print(out)
 			if entry.CacheHits > 0 {
 				fmt.Printf("[%s regenerated in %.1fs; %d/%d runs replayed from cache]\n\n",

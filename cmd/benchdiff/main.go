@@ -7,7 +7,9 @@
 //	go run ./cmd/benchdiff [-json BENCH_results.json] [-threshold 10]
 //
 // Exit status is non-zero when total wall clock regressed by more than
-// threshold percent between the two entries. In `make ci` the step is
+// threshold percent between the two entries; experiments present only in
+// the newer entry are reported but excluded from the gate, so adding an
+// experiment does not read as a regression. In `make ci` the step is
 // advisory (prefixed with -): trajectory entries are recorded on whatever
 // machine ran `make bench` last, so a cross-machine comparison can
 // legitimately exceed the threshold without a code regression.
@@ -78,9 +80,11 @@ func main() {
 		prev[e.ID] = e
 	}
 	fmt.Printf("  %-10s %10s %10s %8s   %s\n", "experiment", "old secs", "new secs", "delta", "allocs/run old->new")
+	var newOnlySecs float64
 	for _, e := range cur.Exps {
 		p, ok := prev[e.ID]
 		if !ok {
+			newOnlySecs += e.WallSecs
 			fmt.Printf("  %-10s %10s %10.3f %8s   (new experiment)\n", e.ID, "-", e.WallSecs, "-")
 			continue
 		}
@@ -94,8 +98,16 @@ func main() {
 		fmt.Printf("  %-10s %10.3f %10.3f %+7.1f%%   %.0f -> %.0f%s\n",
 			e.ID, p.WallSecs, e.WallSecs, pct(p.WallSecs, e.WallSecs), p.AllocsPerRun, e.AllocsPerRun, extra)
 	}
-	total := pct(old.TotalSecs, cur.TotalSecs)
-	fmt.Printf("  %-10s %10.3f %10.3f %+7.1f%%\n", "TOTAL", old.TotalSecs, cur.TotalSecs, total)
+	// Gate on like-for-like work: experiments that only exist in the new
+	// entry (a PR adding one) are reported above but their wall time is
+	// excluded from the regression comparison — new coverage is not a
+	// slowdown of the old coverage.
+	gatedSecs := cur.TotalSecs - newOnlySecs
+	total := pct(old.TotalSecs, gatedSecs)
+	fmt.Printf("  %-10s %10.3f %10.3f %+7.1f%%\n", "TOTAL", old.TotalSecs, cur.TotalSecs, pct(old.TotalSecs, cur.TotalSecs))
+	if newOnlySecs > 0 {
+		fmt.Printf("  gate excludes %.3fs of new experiment(s): %+.1f%% on comparable work\n", newOnlySecs, total)
+	}
 	if cur.CacheHits > 0 {
 		fmt.Printf("  run cache: %d replayed runs in the new entry\n", cur.CacheHits)
 	}

@@ -106,6 +106,21 @@ func (p *Processor) SetCadenceJitter(f func(state *uint64, base event.Cycle) eve
 	p.jitterState = seed
 }
 
+// SetCadenceScale stretches the firmware loops' cadence by a constant
+// integer factor — the fleet layer's thermal-throttle model: a derated
+// device clocks its command processor down with its CUs. factor <= 1
+// restores the exact cadence. Implemented through the jitter hook with no
+// evolving state, so it composes with snapshot rewinds trivially; a
+// subsequent SetCadenceJitter (e.g. a JitterCP fault) replaces it.
+func (p *Processor) SetCadenceScale(factor int) {
+	if factor <= 1 {
+		p.SetCadenceJitter(nil, 0)
+		return
+	}
+	f := event.Cycle(factor)
+	p.SetCadenceJitter(func(_ *uint64, base event.Cycle) event.Cycle { return base * f }, 0)
+}
+
 // cadence applies the jitter hook to a base interval, keeping the result
 // at least one cycle so the loops always advance.
 func (p *Processor) cadence(base event.Cycle) event.Cycle {

@@ -20,6 +20,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"awgsim/internal/gpu"
 	"awgsim/internal/kernels"
@@ -148,15 +149,23 @@ func All() []Experiment {
 		{"priority", "Priority: high-priority kernel injection (Section V.D)", Priority},
 		{"oversweep", "Launch oversubscription sweep (1x/2x/4x capacity)", Oversweep},
 		{"faults", "Fault injection: IFP under CU loss, monitor degradation, CP jitter", Faults},
+		{"fleet", "Fleet: device health events, migration under churn, SLO checking", Fleet},
 	}
 }
 
-// Get returns the experiment with the given ID.
+// Get returns the experiment with the given ID. An unknown ID's error
+// lists every available experiment, so a typo on the awgexp command line
+// is self-correcting.
 func Get(id string) (Experiment, error) {
-	for _, e := range All() {
+	all := All()
+	for _, e := range all {
 		if e.ID == id {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q; available: %s", id, strings.Join(ids, ", "))
 }

@@ -18,7 +18,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig13", "fig14", "fig15"} {
+	for _, want := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig13", "fig14", "fig15", "faults", "fleet"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing", want)
 		}
@@ -26,8 +26,16 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	if _, err := Get("fig14"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Get("fig999"); err == nil {
+	// An unknown id's error enumerates what is available (so a typo on the
+	// awgexp command line is self-correcting), including fleet.
+	_, err := Get("fig999")
+	if err == nil {
 		t.Fatal("unknown experiment id accepted")
+	}
+	for _, want := range []string{`"fig999"`, "available:", "fig14", "fleet"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-experiment error %q missing %q", err, want)
+		}
 	}
 }
 

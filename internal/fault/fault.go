@@ -74,15 +74,29 @@ type Event struct {
 	MaxSkew event.Cycle // JitterCP: max added cadence skew, cycles
 }
 
-// Schedule is a named, time-ordered fault sequence.
+// Schedule is a named, time-ordered fault sequence. Seed records the
+// generator seed for seed-addressable schedules (Random), zero for
+// hand-written ones; error paths carry it so a failing sweep cell is
+// reproducible from the message alone.
 type Schedule struct {
 	Name   string
+	Seed   uint64
 	Events []Event
 }
 
 // String renders the schedule compactly for logs and test names.
 func (s Schedule) String() string {
-	return fmt.Sprintf("%s(%d events)", s.Name, len(s.Events))
+	return fmt.Sprintf("%s(%d events)", s.label(), len(s.Events))
+}
+
+// label names the schedule in error strings, appending the generator seed
+// when one is recorded: regenerate the offending schedule with
+// Random(seed, ...) straight from the message.
+func (s Schedule) label() string {
+	if s.Seed == 0 {
+		return s.Name
+	}
+	return fmt.Sprintf("%s[seed=%d]", s.Name, s.Seed)
 }
 
 // Validate checks a schedule against a machine with numCUs compute units:
@@ -99,39 +113,39 @@ func (s Schedule) Validate(numCUs int) error {
 	for i, e := range s.Events {
 		if e.At < prev {
 			return fmt.Errorf("fault: %s event %d at cycle %d before predecessor at %d",
-				s.Name, i, e.At, prev)
+				s.label(), i, e.At, prev)
 		}
 		prev = e.At
 		switch e.Op {
 		case CULoss:
 			if e.CU < 0 || e.CU >= numCUs {
-				return fmt.Errorf("fault: %s event %d: CU %d out of range [0,%d)", s.Name, i, e.CU, numCUs)
+				return fmt.Errorf("fault: %s event %d: CU %d out of range [0,%d)", s.label(), i, e.CU, numCUs)
 			}
 			if lost[e.CU] {
-				return fmt.Errorf("fault: %s event %d: CU %d lost twice", s.Name, i, e.CU)
+				return fmt.Errorf("fault: %s event %d: CU %d lost twice", s.label(), i, e.CU)
 			}
 			if enabled == 1 {
-				return fmt.Errorf("fault: %s event %d: losing CU %d leaves no CU enabled", s.Name, i, e.CU)
+				return fmt.Errorf("fault: %s event %d: losing CU %d leaves no CU enabled", s.label(), i, e.CU)
 			}
 			lost[e.CU] = true
 			enabled--
 		case CURestore:
 			if e.CU < 0 || e.CU >= numCUs {
-				return fmt.Errorf("fault: %s event %d: CU %d out of range [0,%d)", s.Name, i, e.CU, numCUs)
+				return fmt.Errorf("fault: %s event %d: CU %d out of range [0,%d)", s.label(), i, e.CU, numCUs)
 			}
 			if !lost[e.CU] {
-				return fmt.Errorf("fault: %s event %d: restoring CU %d that is not lost", s.Name, i, e.CU)
+				return fmt.Errorf("fault: %s event %d: restoring CU %d that is not lost", s.label(), i, e.CU)
 			}
 			delete(lost, e.CU)
 			enabled++
 		case DegradeSyncMon:
 			if e.Ways < 1 || e.WaitList < 0 {
-				return fmt.Errorf("fault: %s event %d: degrade to %d ways / %d waiters", s.Name, i, e.Ways, e.WaitList)
+				return fmt.Errorf("fault: %s event %d: degrade to %d ways / %d waiters", s.label(), i, e.Ways, e.WaitList)
 			}
 		case JitterCP:
 			// Any seed/skew is valid; cp.Processor clamps cadence >= 1.
 		default:
-			return fmt.Errorf("fault: %s event %d: unknown op %d", s.Name, i, e.Op)
+			return fmt.Errorf("fault: %s event %d: unknown op %d", s.label(), i, e.Op)
 		}
 	}
 	return nil
@@ -245,28 +259,62 @@ func ArmReserved(m *gpu.Machine, sched Schedule, seqBase uint64) error {
 		if !applicable(m.Policy(), e) {
 			continue
 		}
-		var fn func()
-		switch e.Op {
-		case CULoss:
-			fn = func() { m.PreemptCU(gpu.CUID(e.CU)) }
-		case CURestore:
-			fn = func() { m.RestoreCU(gpu.CUID(e.CU)) }
-		case DegradeSyncMon:
-			hw := m.Policy().(monitorHardware)
-			fn = func() { hw.SyncMon().Degrade(e.Ways, e.WaitList) }
-		case JitterCP:
-			hw := m.Policy().(monitorHardware)
-			fn = func() {
-				// See Arm: the skew walk lives in snapshotted CP state.
-				hw.CP().SetCadenceJitter(func(state *uint64, base event.Cycle) event.Cycle {
-					if e.MaxSkew == 0 {
-						return base
-					}
-					return base + event.Cycle(splitmix(state)%uint64(e.MaxSkew))
-				}, e.Seed)
-			}
+		armOneReserved(m, e, seq)
+		seq++
+	}
+	return nil
+}
+
+// armOneReserved schedules one applicable fault event under a reserved
+// sequence number.
+func armOneReserved(m *gpu.Machine, e Event, seq uint64) {
+	var fn func()
+	switch e.Op {
+	case CULoss:
+		fn = func() { m.PreemptCU(gpu.CUID(e.CU)) }
+	case CURestore:
+		fn = func() { m.RestoreCU(gpu.CUID(e.CU)) }
+	case DegradeSyncMon:
+		hw := m.Policy().(monitorHardware)
+		fn = func() { hw.SyncMon().Degrade(e.Ways, e.WaitList) }
+	case JitterCP:
+		hw := m.Policy().(monitorHardware)
+		fn = func() {
+			// See Arm: the skew walk lives in snapshotted CP state.
+			hw.CP().SetCadenceJitter(func(state *uint64, base event.Cycle) event.Cycle {
+				if e.MaxSkew == 0 {
+					return base
+				}
+				return base + event.Cycle(splitmix(state)%uint64(e.MaxSkew))
+			}, e.Seed)
 		}
-		m.Engine().AtWithSeq(e.At, seq, fn)
+	}
+	m.Engine().AtWithSeq(e.At, seq, fn)
+}
+
+// ArmReservedAfter arms the tail of sched that lies strictly after the
+// given cycle, under the same reserved sequence numbers a full ArmReserved
+// would give those events (seqBase + applicable-event index over the WHOLE
+// schedule — skipped events leave their reservations unused). The fleet
+// layer uses it when a workload migrates onto a device mid-run: the target
+// device's fault environment applies from the migration instant onward,
+// while events whose cycles already passed on the workload's local clock
+// are elided (AtWithSeq refuses past cycles). The full schedule is
+// validated, so the armed tail is a consistent continuation.
+func ArmReservedAfter(m *gpu.Machine, sched Schedule, seqBase uint64, after event.Cycle) error {
+	if err := sched.Validate(m.Config().NumCUs); err != nil {
+		return err
+	}
+	seq := seqBase
+	for _, e := range sched.Events {
+		if !applicable(m.Policy(), e) {
+			continue
+		}
+		if e.At <= after {
+			seq++
+			continue
+		}
+		armOneReserved(m, e, seq)
 		seq++
 	}
 	return nil
@@ -344,7 +392,7 @@ func Scripted(numCUs int, base event.Cycle) []Schedule {
 // restores pair with losses and at least one CU stays enabled throughout.
 // Identical (seed, numCUs, base, span) inputs yield identical schedules.
 func Random(seed uint64, numCUs int, base, span event.Cycle) Schedule {
-	s := Schedule{Name: fmt.Sprintf("rand-%d", seed)}
+	s := Schedule{Name: fmt.Sprintf("rand-%d", seed), Seed: seed}
 	state := seed
 	if span == 0 {
 		span = 1

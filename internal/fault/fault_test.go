@@ -2,6 +2,7 @@ package fault
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -93,6 +94,43 @@ func TestValidateRejects(t *testing.T) {
 	}
 	if err := (Schedule{}).Validate(0); err == nil {
 		t.Error("zero-CU machine accepted")
+	}
+}
+
+// TestValidateErrorsCarrySeedAndIndex pins the reproducibility contract of
+// the error paths: a failing schedule's message alone names the generator
+// seed and the offending event index, so a broken sweep cell can be
+// regenerated without the sweep's surrounding state.
+func TestValidateErrorsCarrySeedAndIndex(t *testing.T) {
+	s := Schedule{Name: "rand-42", Seed: 42, Events: []Event{
+		{At: 10, Op: CULoss, CU: 0},
+		{At: 20, Op: CULoss, CU: 17},
+	}}
+	err := s.Validate(8)
+	if err == nil {
+		t.Fatal("out-of-range CU accepted")
+	}
+	for _, want := range []string{"seed=42", "event 1", "rand-42"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Validate error %q does not mention %q", err, want)
+		}
+	}
+	// Random's schedules carry their seed, so Arm-time errors in a fleet
+	// sweep are reproducible from the message alone.
+	if r := Random(7, 8, 10_000, 80_000); r.Seed != 7 {
+		t.Errorf("Random(7).Seed = %d, want 7", r.Seed)
+	}
+	// Hand-written schedules stay unchanged: no seed suffix.
+	hand := Schedule{Name: "flap", Events: []Event{{At: 10, Op: CURestore, CU: 1}}}
+	herr := hand.Validate(8)
+	if herr == nil {
+		t.Fatal("unpaired restore accepted")
+	}
+	if strings.Contains(herr.Error(), "seed=") {
+		t.Errorf("seedless schedule error %q mentions a seed", herr)
+	}
+	if !strings.Contains(herr.Error(), "event 0") {
+		t.Errorf("error %q does not name the event index", herr)
 	}
 }
 

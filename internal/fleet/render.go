@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the full fleet run — health-event log, migration log,
+// per-workload outcomes, SLO violations — in a deterministic, integer-only
+// form: it is what the fleet experiment's worked example prints and what
+// the determinism tests compare byte-for-byte.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet run: plane=%s fleet-cycles=%d degraded=%v\n", r.Plane, r.FleetCycles, r.Degraded)
+	if len(r.Events) > 0 {
+		b.WriteString("health events:\n")
+		for _, e := range r.Events {
+			fmt.Fprintf(&b, "  [%12d] dev%d %-16s xid=%-2d %s\n", e.At, e.Device, e.Kind, e.XID, e.Detail)
+		}
+	}
+	if len(r.Migrations) > 0 {
+		b.WriteString("migrations:\n")
+		for _, m := range r.Migrations {
+			fmt.Fprintf(&b, "  [%12d] wl%d dev%d->dev%d (%s): rewound %d local cycles, paused %d\n",
+				m.At, m.Workload, m.From, m.To, m.Cause, m.LostCycles, m.Pause)
+		}
+	}
+	b.WriteString("workloads:\n")
+	for _, w := range r.Workloads {
+		fmt.Fprintf(&b, "  wl%d %s/%s dev%d: %s", w.ID, w.Result.Benchmark, w.Result.Policy, w.Device, w.status())
+		fmt.Fprintf(&b, " (local %d cycles, %d/%d WGs, %d migrations, %d rewinds, %d cycles lost)\n",
+			w.Result.Cycles, w.Result.Completed, w.Result.Completed+unfinished(w), w.Migrations, w.Recoveries, w.LostCycles)
+	}
+	if len(r.Violations) > 0 {
+		b.WriteString("SLO violations:\n")
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	} else {
+		b.WriteString("SLO violations: none\n")
+	}
+	return b.String()
+}
+
+func (w WorkloadResult) status() string {
+	switch {
+	case w.Drained:
+		return fmt.Sprintf("drained at fleet %d", w.DoneAt)
+	case w.Err != nil:
+		return fmt.Sprintf("failed (%v)", w.Err)
+	case w.Result.Deadlocked && w.Result.Diagnosis != nil:
+		return fmt.Sprintf("deadlocked (%s) at fleet %d", w.Result.Diagnosis.Reason, w.DoneAt)
+	case w.Result.Deadlocked:
+		return fmt.Sprintf("deadlocked at fleet %d", w.DoneAt)
+	default:
+		return fmt.Sprintf("completed at fleet %d", w.DoneAt)
+	}
+}
+
+func unfinished(w WorkloadResult) int {
+	if w.Result.Diagnosis != nil {
+		return w.Result.Diagnosis.Total - w.Result.Diagnosis.Completed
+	}
+	return 0
+}

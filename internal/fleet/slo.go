@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"fmt"
+
+	"awgsim/internal/event"
+	"awgsim/internal/fault"
+)
+
+// SLO is the fleet's service-level contract for workloads under churn. It
+// promotes the single-run IFP invariant (fault.CheckOutcome) to the fleet:
+// an IFP-providing policy must keep making forward progress across
+// migrations and complete within its deadline; a non-IFP policy may hang
+// but must hang *diagnosed*; and a below-floor drain is only acceptable
+// when every drained workload carries a structured diagnosis.
+type SLO struct {
+	// StallWindow arms the online starvation detector: an IFP workload
+	// that completes no work-group for this many fleet cycles (excluding
+	// migration/recovery pauses) is flagged as starving. 0 disables it —
+	// each machine's own progress watchdog still runs on its local clock.
+	StallWindow event.Cycle
+	// CompletionDeadline is the fleet cycle by which IFP workloads must
+	// complete. 0 means the fleet budget.
+	CompletionDeadline event.Cycle
+}
+
+// Violation kinds.
+const (
+	// ViolationStarvation: the online detector saw an IFP workload complete
+	// no WG for a full stall window.
+	ViolationStarvation = "starvation"
+	// ViolationOutcome: the workload's final result breaks the IFP
+	// invariant (IFP policy deadlocked/failed, or a non-IFP policy hung
+	// without a diagnosis).
+	ViolationOutcome = "outcome"
+	// ViolationDeadline: an IFP workload completed, but after its
+	// completion deadline.
+	ViolationDeadline = "deadline"
+	// ViolationDrain: a drained workload carries no structured diagnosis —
+	// the fleet stopped it without saying why.
+	ViolationDrain = "undiagnosed-drain"
+)
+
+// Violation is one SLO breach, attributed to a workload.
+type Violation struct {
+	Workload  int
+	Benchmark string
+	Policy    string
+	Kind      string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("workload %d (%s under %s): %s: %s", v.Workload, v.Benchmark, v.Policy, v.Kind, v.Detail)
+}
+
+// check applies the end-of-run half of the SLO to one finished workload.
+// Drained workloads are exempt from the IFP outcome check — a clean
+// below-floor drain is the contract working, not a violation — but must
+// be diagnosed.
+func (s SLO) check(w *workload, deadline event.Cycle) []Violation {
+	var out []Violation
+	v := func(kind, detail string) {
+		out = append(out, Violation{
+			Workload: w.id, Benchmark: w.res.Benchmark, Policy: w.res.Policy,
+			Kind: kind, Detail: detail,
+		})
+	}
+	if w.drained {
+		if w.res.Diagnosis == nil {
+			v(ViolationDrain, "drained below the capacity floor without a diagnosis")
+		}
+		return out
+	}
+	if err := fault.CheckOutcome(w.res.Policy, w.res, w.resErr); err != nil {
+		v(ViolationOutcome, err.Error())
+		return out
+	}
+	if fault.ProvidesIFP(w.res.Policy) && !w.res.Deadlocked && w.doneAt > deadline {
+		v(ViolationDeadline, fmt.Sprintf("completed at fleet cycle %d, deadline %d", w.doneAt, deadline))
+	}
+	return out
+}

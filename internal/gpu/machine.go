@@ -269,9 +269,29 @@ func (m *Machine) SetStalled(w *WG, stalled bool) {
 // Done reports whether every WG of every kernel has completed.
 func (m *Machine) Done() bool { return m.completed == len(m.allWGs) }
 
+// CompletedWGs reports how many WGs have run to completion so far — the
+// fleet layer's SLO checker samples it between slices as its forward-
+// progress signal.
+func (m *Machine) CompletedWGs() int { return m.completed }
+
 // Deadlocked reports whether the watchdog has declared the run dead (the
 // fork planner checks it to abandon forking when a shared prefix stalls).
 func (m *Machine) Deadlocked() bool { return m.deadlocked }
+
+// Halt declares an unfinished run dead for an external reason — the fleet
+// layer drains surviving workloads this way when device churn drops the
+// fleet below its survivable-capacity floor — capturing the same
+// structured diagnosis the watchdog would and stopping the engine. A later
+// FinishRun keeps this diagnosis instead of classifying the stop itself.
+// No-op on a completed or already-diagnosed machine.
+func (m *Machine) Halt(reason string) {
+	if m.Done() || m.deadlocked {
+		return
+	}
+	m.deadlocked = true
+	m.diag = m.diagnose(reason)
+	m.eng.Stop()
+}
 
 // --- the WG request loop ---
 

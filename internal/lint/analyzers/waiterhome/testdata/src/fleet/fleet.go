@@ -1,0 +1,49 @@
+// Package fleet seeds single-home violations against a stand-in for the
+// fleet layer's device placement: a workload id lives in exactly one
+// Device.workloads slice, moved only by the attach/detach transfer pair.
+package fleet
+
+// Device mirrors the fleet's protected placement container.
+type Device struct {
+	id        int
+	workloads []int
+}
+
+// attach is an approved transfer function: appending here is sanctioned.
+func attach(d *Device, id int) {
+	d.workloads = append(d.workloads, id)
+}
+
+// detach is an approved transfer function: splicing here is sanctioned.
+func detach(d *Device, id int) {
+	for i, w := range d.workloads {
+		if w == id {
+			d.workloads = append(d.workloads[:i], d.workloads[i+1:]...)
+			return
+		}
+	}
+}
+
+// migrate must route the move through detach/attach, not write the slices
+// itself — a direct write on either side can leave the workload homed on
+// two devices (paced twice, waiters woken twice).
+func migrate(from, to *Device, id int) {
+	to.workloads = append(to.workloads, id) // want `Device\.workloads holds single-home waiter state`
+	for i, w := range from.workloads {
+		if w == id {
+			from.workloads = append(from.workloads[:i], from.workloads[i+1:]...) // want `Device\.workloads holds single-home waiter state`
+			return
+		}
+	}
+}
+
+// rebalance uses the transfer pair and is clean.
+func rebalance(from, to *Device, id int) {
+	detach(from, id)
+	attach(to, id)
+}
+
+// drop clears a device's placement wholesale; only approved functions may.
+func drop(d *Device) {
+	d.workloads = nil // want `Device\.workloads holds single-home waiter state`
+}

@@ -185,6 +185,15 @@ var homes = []home{
 			"addTombstone": true, "consumeTombstone": true,
 		},
 	},
+	{
+		// Fleet device placement: a workload id is homed on exactly one
+		// device, the cross-device analogue of the waiter rule — a
+		// double-homed workload would be paced (and its waiters woken)
+		// twice. Only the attach/detach transfer pair moves ids.
+		pkgSuffix: "/fleet", typeName: "Device",
+		fields:   map[string]bool{"workloads": true},
+		approved: map[string]bool{"attach": true, "detach": true},
+	},
 }
 
 func run(pass *analysis.Pass) (any, error) {

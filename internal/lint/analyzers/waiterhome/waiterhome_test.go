@@ -8,5 +8,5 @@ import (
 )
 
 func TestWaiterHome(t *testing.T) {
-	analysistest.Run(t, waiterhome.Analyzer, "syncmon", "cp")
+	analysistest.Run(t, waiterhome.Analyzer, "syncmon", "cp", "fleet")
 }

@@ -207,6 +207,21 @@ func (s *System) Write(a Addr, v int64) { s.values.write(a, v) }
 // value store is word-granular.
 func (a Addr) WordAligned() Addr { return a &^ 7 }
 
+// PageWords reports the value store's page size in words. The fleet fault
+// plane addresses ECC fault ranges in these page units.
+func PageWords() int { return pageWords }
+
+// CorruptRange models an uncorrectable ECC burst over the page range
+// [page, page+pages): every word of each already-allocated page is
+// overwritten with a splitmix64-derived poison pattern (absent pages hold
+// no data to corrupt). Writes go through the ordinary COW write path, so
+// snapshots taken before the burst are unaffected and restoring one heals
+// the corruption — exactly the containment story the fleet layer's ECC
+// recovery relies on. Returns the number of words poisoned.
+func (s *System) CorruptRange(page uint64, pages int, seed uint64) int {
+	return s.values.corruptRange(page, pages, seed)
+}
+
 // AtomicTiming computes when an atomic issued now against address a is
 // serviced at its L2 bank (applyAt — the instant its read-modify-write and
 // any SyncMon checks occur) and when its response reaches the CU (respAt).

@@ -85,3 +85,26 @@ func (w *wordStore) splitPage(idx int32) {
 	w.pages[idx] = append([]int64(nil), w.pages[idx]...)
 	w.shared[idx] = false
 }
+
+// corruptRange poisons every word of each allocated page in
+// [page, page+n) with a splitmix64 stream (the same generator the fault
+// subsystem uses, so the pattern is seed-addressable). Mutations route
+// through write: shared (snapshotted) pages split copy-on-write first.
+func (w *wordStore) corruptRange(page uint64, n int, seed uint64) int {
+	words := 0
+	state := seed
+	for p := page; p < page+uint64(n); p++ {
+		if w.dir.Ref(p) == nil {
+			continue
+		}
+		for i := uint64(0); i < pageWords; i++ {
+			state += 0x9e3779b97f4a7c15
+			x := state
+			x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+			x = (x ^ x>>27) * 0x94d049bb133111eb
+			w.write(Addr((p<<pageShift+i)<<3), int64(x^x>>31))
+			words++
+		}
+	}
+	return words
+}

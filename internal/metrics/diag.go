@@ -22,6 +22,14 @@ const (
 	// ReasonNoEvents: the calendar drained with WGs unfinished — every
 	// actor is parked with no timer left to wake anyone.
 	ReasonNoEvents = "no-pending-events"
+	// ReasonFleetDrain: the fleet layer drained this still-healthy workload
+	// because device churn dropped the fleet below its survivable-capacity
+	// floor — a clean, diagnosed stop rather than a hang.
+	ReasonFleetDrain = "fleet-drain"
+	// ReasonFleetBudget: the fleet-level cycle budget expired with this
+	// workload unfinished (its own simulated-cycle budget may be untouched —
+	// multiplexing and migration pauses slow fleet-relative progress).
+	ReasonFleetBudget = "fleet-budget"
 )
 
 // BlockedCond is one synchronization condition unfinished WGs are blocked

@@ -151,6 +151,25 @@ func NewSession(cfg Config) (*Session, error) {
 	return newSession(cfg, 0)
 }
 
+// NewSessionReserving builds a simulation like NewSession, additionally
+// reserving `reserve` engine sequence numbers at the construction point a
+// fault arm would consume them (cfg.Faults must be nil). SeqBase reports
+// the first reserved number. The fleet layer builds each workload machine
+// this way: device-coupled fault schedules are spliced in later — at
+// genesis placement and after migrations — with fault.ArmReserved /
+// ArmReservedAfter, so late arming lands on the same calendar positions a
+// construction-time arm would give it and stays bit-identical across runs.
+func NewSessionReserving(cfg Config, reserve int) (*Session, error) {
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("sim: NewSessionReserving with a fault schedule; reservation replaces arming")
+	}
+	return newSession(cfg, reserve)
+}
+
+// SeqBase reports the first engine sequence number reserved at
+// construction (NewSessionReserving), zero when none were reserved.
+func (s *Session) SeqBase() uint64 { return s.seqBase }
+
 // newSession builds a simulation, optionally reserving engine sequence
 // numbers where fault arming would occur. The fork planner builds a sweep
 // group's shared-prefix session with Faults == nil and reserve set to the
@@ -229,6 +248,25 @@ func (s *Session) InjectedLatency() uint64 {
 // reports it. Run may be called once.
 func (s *Session) Run() (metrics.Result, error) {
 	res := s.m.Run()
+	totalCycles.Add(res.Cycles)
+	totalRuns.Add(1)
+	if !res.Deadlocked && !s.cfg.SkipVerify && s.verify != nil {
+		if verr := s.verify(s.m.Mem().Read); verr != nil {
+			return res, fmt.Errorf("sim: %s under %s completed but failed validation: %w",
+				res.Benchmark, res.Policy, verr)
+		}
+	}
+	return res, nil
+}
+
+// Finish completes a staged run the caller drove itself through
+// Machine().Prepare/RunTo (the fleet layer's per-slice pacing does this):
+// it classifies and tears the run down (gpu.Machine.FinishRun), accounts
+// the simulated work in the process-wide ledger, and functionally
+// validates a completed run exactly like Run. Call once, after the last
+// RunTo.
+func (s *Session) Finish() (metrics.Result, error) {
+	res := s.m.FinishRun()
 	totalCycles.Add(res.Cycles)
 	totalRuns.Add(1)
 	if !res.Deadlocked && !s.cfg.SkipVerify && s.verify != nil {
