@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint lint-fix fuzz ci bench benchdiff exp quick
+.PHONY: all build test race vet fmt lint lint-fix fuzz ci bench benchdiff exp quick litmus-quick
 
 all: build
 
@@ -38,13 +38,15 @@ lint-fix:
 # random schedule/run interleavings through the event-engine calendar
 # checked against a reference heap oracle, random condition-cache op
 # streams diffed against a map-based oracle of the slab condition store,
-# and fuzzed snapshot/restore cuts that must replay bit-identically.
+# fuzzed snapshot/restore cuts that must replay bit-identically, and the
+# litmus shrinker driven against abstract progress-model oracles.
 fuzz:
 	$(GO) test ./internal/fault -fuzz FuzzSchedule -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/event -fuzz FuzzCalendar -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/syncmon -fuzz FuzzCondStore -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/sim -fuzz FuzzSnapshotRestore -fuzztime 5s -run '^$$'
 	$(GO) test ./internal/fleet -fuzz FuzzFleetEvents -fuzztime 5s -run '^$$'
+	$(GO) test ./internal/litmus -fuzz FuzzLitmusShrink -fuzztime 5s -run '^$$'
 
 # golden runs the quick experiment suite twice — once with the fork planner
 # (the default) and once with -no-fork — checks each against the committed
@@ -58,12 +60,22 @@ golden:
 	cmp .golden_forked.json .golden_unforked.json
 	@rm -f .golden_forked.json .golden_unforked.json
 
+# litmus-quick regenerates the quick litmus conformance sweep and checks
+# it against its own golden record (the sweep also runs inside the main
+# golden target; this gate pins the matrix and worked examples standalone
+# so a conformance drift is reported by name). After an intentional
+# change: `go run ./cmd/awgexp -quick -exp litmus -golden
+# GOLDEN_litmus.json -update-golden`.
+litmus-quick:
+	$(GO) run ./cmd/awgexp -quick -exp litmus -golden GOLDEN_litmus.json > /dev/null
+
 # ci is the full gate: formatting, static checks (go vet plus the awglint
 # domain analyzers), the race-instrumented test suite (which exercises the
 # parallel experiment pool), the fuzz smokes, and the golden-record drift
-# check. benchdiff is advisory (leading -): the trajectory spans machines,
-# so a wall-clock delta is a prompt to look, not a gate.
-ci: fmt vet lint race fuzz golden
+# checks (suite-wide and the standalone litmus conformance gate).
+# benchdiff is advisory (leading -): the trajectory spans machines, so a
+# wall-clock delta is a prompt to look, not a gate.
+ci: fmt vet lint race fuzz golden litmus-quick
 	-$(GO) run ./cmd/benchdiff
 
 # bench appends a perf-trajectory entry to BENCH_results.json and runs the

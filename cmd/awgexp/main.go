@@ -224,6 +224,11 @@ func main() {
 					out += ex + "\n"
 				}
 			}
+			if e.ID == "litmus" {
+				if ex, exErr := experiments.LitmusWorkedExamples(opts); exErr == nil {
+					out += ex + "\n"
+				}
+			}
 			fmt.Print(out)
 			if entry.CacheHits > 0 {
 				fmt.Printf("[%s regenerated in %.1fs; %d/%d runs replayed from cache]\n\n",

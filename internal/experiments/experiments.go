@@ -150,6 +150,7 @@ func All() []Experiment {
 		{"oversweep", "Launch oversubscription sweep (1x/2x/4x capacity)", Oversweep},
 		{"faults", "Fault injection: IFP under CU loss, monitor degradation, CP jitter", Faults},
 		{"fleet", "Fleet: device health events, migration under churn, SLO checking", Fleet},
+		{"litmus", "Litmus: generated progress-model conformance matrix (OBE/HSA/LinOcc/IFP)", Litmus},
 	}
 }
 

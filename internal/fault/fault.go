@@ -404,8 +404,16 @@ func Random(seed uint64, numCUs int, base, span event.Cycle) Schedule {
 	}
 	numEnabled := numCUs
 	at := base
+	// Inter-event gaps draw from [0, span/n]. When span < n the integer
+	// divide would collapse the divisor to 1 and every event would land at
+	// exactly base; clamping to 2 keeps a 0-or-1 cycle spread so short
+	// windows still order their events. Unchanged whenever span >= n.
+	div := span/event.Cycle(n) + 1
+	if div < 2 {
+		div = 2
+	}
 	for i := 0; i < n; i++ {
-		at += event.Cycle(splitmix(&state) % uint64(span/event.Cycle(n)+1))
+		at += event.Cycle(splitmix(&state) % uint64(div))
 		switch splitmix(&state) % 4 {
 		case 0: // lose a random enabled CU, keeping one alive
 			if numEnabled < 2 {
@@ -430,10 +438,19 @@ func Random(seed uint64, numCUs int, base, span event.Cycle) Schedule {
 			numEnabled++
 			s.Events = append(s.Events, Event{At: at, Op: CURestore, CU: k})
 		case 2: // degrade the monitor to a random small geometry
+			// WaitList 0 would model a monitor with ways but nowhere to
+			// park a waiter — a degenerate geometry DegradeSyncMon never
+			// means (WaitListSize 0 is reserved for the uncached-monitor
+			// policy variants). Floor the draw at one entry; the ways draw
+			// stays first so schedules that never drew 0 are unchanged.
+			ways := 1 + int(splitmix(&state)%4)
+			wl := int(splitmix(&state) % 64)
+			if wl == 0 {
+				wl = 1
+			}
 			s.Events = append(s.Events, Event{
 				At: at, Op: DegradeSyncMon,
-				Ways:     1 + int(splitmix(&state)%4),
-				WaitList: int(splitmix(&state) % 64),
+				Ways: ways, WaitList: wl,
 			})
 		default: // jitter the CP cadence
 			s.Events = append(s.Events, Event{

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"awgsim/internal/event"
 )
 
 func TestRandomDeterministic(t *testing.T) {
@@ -18,6 +20,58 @@ func TestRandomDeterministic(t *testing.T) {
 		}
 		if err := a.Validate(8); err != nil {
 			t.Fatalf("seed %d: generated schedule invalid: %v", seed, err)
+		}
+	}
+}
+
+// TestRandomShortSpanSpreads pins the degenerate-schedule fix: with
+// span < n the old step divisor truncated to 1 and every event landed at
+// exactly base, so short fault windows collapsed to a single burst. The
+// clamped divisor keeps a 0-or-1 cycle gap per event.
+func TestRandomShortSpanSpreads(t *testing.T) {
+	// A single seed can still legitimately draw all-zero gaps (each gap is
+	// a coin flip once clamped), so the pin is on the population: the old
+	// code collapsed every seed; now bursts are the rare case.
+	bursts := 0
+	for seed := uint64(1); seed <= 16; seed++ {
+		s := Random(seed, 8, 1000, 5)
+		if err := s.Validate(8); err != nil {
+			t.Fatalf("seed %d: short-span schedule invalid: %v", seed, err)
+		}
+		ats := map[event.Cycle]bool{}
+		for _, e := range s.Events {
+			if e.At < 1000 || e.At > 1000+event.Cycle(12) {
+				t.Fatalf("seed %d: event at %d outside the window", seed, e.At)
+			}
+			ats[e.At] = true
+		}
+		if len(ats) < 2 {
+			bursts++
+		}
+	}
+	if bursts > 3 {
+		t.Errorf("%d/16 short-span seeds collapsed to a single timestamp", bursts)
+	}
+	// Long spans are untouched by the clamp: schedules that already spread
+	// keep their exact timestamps (div = span/n + 1 >= 2 either way).
+	long := Random(1, 8, 10_000, 80_000)
+	if err := long.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomWaitListFloor pins the other half of the fix: DegradeSyncMon
+// events must never carry WaitList 0 (a monitor with ways but nowhere to
+// park a waiter — a geometry the fault plane never means; WaitListSize 0
+// is reserved for the uncached-monitor policy variants). Seed 60 drew a
+// zero from the old generator.
+func TestRandomWaitListFloor(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		for _, e := range Random(seed, 8, 10_000, 80_000).Events {
+			if e.Op == DegradeSyncMon && (e.WaitList < 1 || e.Ways < 1) {
+				t.Errorf("seed %d: degenerate monitor geometry ways=%d waitlist=%d",
+					seed, e.Ways, e.WaitList)
+			}
 		}
 	}
 }

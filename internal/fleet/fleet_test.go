@@ -360,6 +360,35 @@ func TestRandomPlanesValidateAndRespectFloor(t *testing.T) {
 	}
 }
 
+// TestRandomShortSpanSpreads pins the same degenerate-schedule fix as
+// fault.Random's: with span < n the old step divisor truncated to 1 and
+// every churn event landed at exactly base. The clamped divisor keeps a
+// 0-or-1 cycle gap per event.
+func TestRandomShortSpanSpreads(t *testing.T) {
+	// As in fault's test, a single seed may legitimately draw all-zero
+	// gaps; the pin is on the population (the old code collapsed all 16).
+	bursts := 0
+	for seed := uint64(1); seed <= 16; seed++ {
+		s := fleet.Random(seed, 4, 2, 1000, 3)
+		if err := s.Validate(4); err != nil {
+			t.Fatalf("seed %d: short-span schedule invalid: %v", seed, err)
+		}
+		ats := map[event.Cycle]bool{}
+		for _, e := range s.Events {
+			if e.At < 1000 || e.At > 1000+event.Cycle(8) {
+				t.Fatalf("seed %d: event at %d outside the window", seed, e.At)
+			}
+			ats[e.At] = true
+		}
+		if len(ats) < 2 {
+			bursts++
+		}
+	}
+	if bursts > 3 {
+		t.Errorf("%d/16 short-span seeds collapsed to a single timestamp", bursts)
+	}
+}
+
 // TestScriptedPlanesValidate pins the scripted set: all validate on a
 // 4-device fleet and every event kind is covered.
 func TestScriptedPlanesValidate(t *testing.T) {

@@ -209,8 +209,15 @@ func Random(seed uint64, numDevices, floor int, base, span event.Cycle) Schedule
 	}
 	numOn := numDevices
 	at := base
+	// Same clamp as fault.Random: when span < n the divisor would truncate
+	// to 1 and every event would land at exactly base. A floor of 2 keeps a
+	// 0-or-1 cycle spread; unchanged whenever span >= n.
+	div := span/event.Cycle(n) + 1
+	if div < 2 {
+		div = 2
+	}
 	for i := 0; i < n; i++ {
-		at += event.Cycle(splitmix(&state) % uint64(span/event.Cycle(n)+1))
+		at += event.Cycle(splitmix(&state) % uint64(div))
 		switch splitmix(&state) % 4 {
 		case 0: // lose a random on-bus device, keeping the floor
 			if numOn <= floor {

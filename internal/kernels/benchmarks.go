@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"strings"
 
 	"awgsim/internal/event"
 	"awgsim/internal/gpu"
@@ -83,8 +84,19 @@ func All() []string {
 // Apps lists the application benchmarks from the Table 2 caption.
 func Apps() []string { return []string{"HashTable", "BankAccount"} }
 
-// Get returns the builder for a benchmark name.
+// Get returns the builder for a benchmark name. Names carrying
+// LitmusPrefix are decoded as litmus patterns rather than looked up: the
+// pattern's canonical encoding is its benchmark name, which keeps litmus
+// sim.Configs declarative (and so run-cache fingerprintable) without
+// registering thousands of generated patterns.
 func Get(name string) (Builder, error) {
+	if strings.HasPrefix(name, LitmusPrefix) {
+		l, err := DecodeLitmus(name)
+		if err != nil {
+			return nil, err
+		}
+		return func(p Params) (*Benchmark, error) { return litmusBench(l, p) }, nil
+	}
 	b, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("kernels: unknown benchmark %q", name)

@@ -1,0 +1,126 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"awgsim/internal/sim"
+)
+
+// quickPolicies mirrors the experiment's quick policy set.
+var testPolicies = []string{"Baseline", "Timeout", "MonNR-One", "AWG"}
+
+// TestConformanceSweep runs a small generated sweep end-to-end and checks
+// the invariant the whole harness exists to enforce: IFP-providing
+// policies pass every cell; Baseline fails only patterns that nothing
+// weaker than IFP requires, and those failures are marked expected.
+func TestConformanceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a few hundred simulations")
+	}
+	pats := Generate(1, 16)
+	s := Conformance(pats, testPolicies, Occupancies(), 0, 0)
+	if got, want := len(s.Cells), len(pats)*len(testPolicies)*len(Occupancies()); got != want {
+		t.Fatalf("%d cells, want %d", got, want)
+	}
+	if un := s.Unexpected(); len(un) > 0 {
+		t.Fatalf("%d unexpected conformance violations, first: %s", len(un), un[0].Detail)
+	}
+	sawExpected := false
+	for _, v := range s.Violations {
+		if v.Cell.Policy != "Baseline" {
+			t.Errorf("expected violation attributed to %s (only Baseline is non-IFP here): %s", v.Cell.Policy, v.Detail)
+		}
+		if v.Model != IFP {
+			t.Errorf("expected violation against %s, want IFP only: %s", v.Model, v.Detail)
+		}
+		sawExpected = true
+	}
+	if !sawExpected {
+		t.Errorf("no expected Baseline IFP failures in %d patterns; sweep too weak to discriminate", len(pats))
+	}
+	// The matrix renders a row per policy x occupancy and never mixes
+	// FAIL into a clean sweep.
+	m := s.Matrix("test").String()
+	if strings.Contains(m, "FAIL") {
+		t.Errorf("matrix contains FAIL cells:\n%s", m)
+	}
+	if !strings.Contains(m, "no-IFP") {
+		t.Errorf("matrix has no expected no-IFP cells:\n%s", m)
+	}
+}
+
+// TestConformanceDeterministic: two sweeps over the same patterns render
+// byte-identical matrices and summaries (the property the experiment's
+// golden pin relies on).
+func TestConformanceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a few hundred simulations")
+	}
+	pats := Generate(4, 8)
+	a := Conformance(pats, testPolicies, Occupancies(), 0, 2)
+	b := Conformance(pats, testPolicies, Occupancies(), 0, 3)
+	if a.Matrix("d").String() != b.Matrix("d").String() {
+		t.Fatalf("matrix differs across worker counts")
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("summary differs across worker counts")
+	}
+}
+
+// TestShrinkViolationToMinimal shrinks a real Baseline IFP violation down
+// and checks the canonical minimum comes out: a generated reverse chain
+// (with work padding and extra WGs) must reduce to the two-WG handoff.
+func TestShrinkViolationToMinimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking re-runs simulations")
+	}
+	rev := mustDecode(t, "litmus:1:c50,e0.1;c80,e1.1,s0.1;e2.1,s1.1;s2.1")
+	occOne := Occupancies()[2]
+	fail := ViolationFailFn("Baseline", IFP, occOne, 0)
+	if !fail(rev) {
+		t.Fatalf("Baseline completes the reverse chain at cap 1; nothing to shrink")
+	}
+	min := Shrink(rev, fail)
+	if !fail(min) {
+		t.Errorf("shrunk pattern no longer fails: %s", min.Encode())
+	}
+	if got, want := min.Encode(), "litmus:1:e0.1;s0.1"; got != want {
+		t.Errorf("shrunk to %s (size %d), want the canonical minimum %s", got, Size(min), want)
+	}
+}
+
+// TestRenderGoTest renders a reproducer and checks it carries the decode
+// call, the policy, and the capacity — the pieces that make it runnable
+// when committed.
+func TestRenderGoTest(t *testing.T) {
+	l := mustDecode(t, "litmus:1:e0.1;s0.1")
+	src := RenderGoTest(l, "LitmusRevChainTimeout", "policy_test", "Timeout", 1, IFP)
+	for _, want := range []string{
+		"package policy_test",
+		"func TestLitmusRevChainTimeout(t *testing.T)",
+		`kernels.DecodeLitmus("litmus:1:e0.1;s0.1")`,
+		`litmus.RunConfig(l, "Timeout", 1, 0)`,
+		"res.Deadlocked",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("rendered test missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestSimFailFnUsesCache: a FailFn re-running the same pattern must hit
+// the session run cache (shrinking probes the same candidates repeatedly).
+func TestSimFailFnUsesCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sim.ResetCache()
+	l := mustDecode(t, "litmus:1:e0.1;s0.1")
+	fail := SimFailFn("Baseline", 1, 0)
+	fail(l)
+	fail(l)
+	if sim.CacheHits() == 0 {
+		t.Fatalf("second identical probe did not hit the run cache")
+	}
+}

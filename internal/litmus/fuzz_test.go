@@ -1,0 +1,71 @@
+package litmus
+
+import (
+	"testing"
+
+	"awgsim/internal/kernels"
+)
+
+// FuzzLitmusShrink drives the shrinker with fuzzed generator seeds against
+// abstract (oracle-level) failure predicates and enforces its contract:
+// the output validates, still fails identically to the input, is no larger
+// than the input, and is a fixpoint (shrinking again changes nothing).
+// Abstract predicates keep iterations fast enough for native fuzzing while
+// exercising exactly the reduction logic the sim-backed hunts rely on.
+func FuzzLitmusShrink(f *testing.F) {
+	f.Add(uint64(1), uint8(0))
+	f.Add(uint64(7), uint8(1))
+	f.Add(uint64(42), uint8(2))
+	f.Add(uint64(0xdeadbeef), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, mode uint8) {
+		pats := Generate(seed, 8)
+		l := pats[int(seed%uint64(len(pats)))]
+		var fail FailFn
+		switch mode % 3 {
+		case 0:
+			// Not fair-terminating (the broken-pattern signature).
+			fail = func(c kernels.Litmus) bool {
+				_, complete := c.FairFinal()
+				return !complete
+			}
+		case 1:
+			// IFP-only discriminator: fair-terminating but wedgeable by
+			// in-order admission at a single slot.
+			fail = func(c kernels.Litmus) bool {
+				_, complete := c.FairFinal()
+				return complete && !MustTerminate(c, LinOcc, 1)
+			}
+		default:
+			// Contains a cross-WG wait the HSA adversary starves.
+			fail = func(c kernels.Litmus) bool {
+				return MustTerminate(c, IFP, 1) && !mustHSA(c)
+			}
+		}
+		orig := fail(l)
+		out := Shrink(l, fail)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("shrunk pattern invalid: %v\nin:  %s\nout: %s", err, l.Encode(), out.Encode())
+		}
+		if !orig {
+			if out.Encode() != l.Encode() {
+				t.Fatalf("input does not fail but Shrink changed it: %s -> %s", l.Encode(), out.Encode())
+			}
+			return
+		}
+		if !fail(out) {
+			t.Fatalf("shrunk pattern no longer fails\nin:  %s\nout: %s", l.Encode(), out.Encode())
+		}
+		if Size(out) > Size(l) {
+			t.Fatalf("shrunk pattern grew: %d -> %d\nin:  %s\nout: %s", Size(l), Size(out), l.Encode(), out.Encode())
+		}
+		if again := Shrink(out, fail); Size(again) < Size(out) {
+			t.Fatalf("shrink not a fixpoint: %s -> %s", out.Encode(), again.Encode())
+		}
+		// The reproducer must survive the codec round trip it will be
+		// committed through.
+		back, err := kernels.DecodeLitmus(out.Encode())
+		if err != nil || back.Encode() != out.Encode() {
+			t.Fatalf("shrunk pattern does not round-trip: %s (%v)", out.Encode(), err)
+		}
+	})
+}

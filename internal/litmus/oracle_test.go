@@ -1,0 +1,197 @@
+package litmus
+
+import (
+	"testing"
+
+	"awgsim/internal/kernels"
+)
+
+func mustDecode(t *testing.T, name string) kernels.Litmus {
+	t.Helper()
+	l, err := kernels.DecodeLitmus(name)
+	if err != nil {
+		t.Fatalf("DecodeLitmus(%q): %v", name, err)
+	}
+	return l
+}
+
+// TestOracleChain: a forward chain completes serially in ID order, so
+// HSA, LinOcc, and IFP must terminate it at any capacity. OBE must not at
+// reduced capacity: the admission adversary seats the *last* WG first and
+// wedges every slot on a wait only earlier WGs can satisfy.
+func TestOracleChain(t *testing.T) {
+	chain := mustDecode(t, "litmus:1:s0.1;e0.1,s1.1;e1.1")
+	for _, m := range []Model{HSA, LinOcc, IFP} {
+		for _, k := range []int{1, 2, 3} {
+			if !MustTerminate(chain, m, k) {
+				t.Errorf("chain: MustTerminate(%s, cap %d) = false, want true", m, k)
+			}
+		}
+	}
+	if MustTerminate(chain, OBE, 1) || MustTerminate(chain, OBE, 2) {
+		t.Errorf("chain: OBE-must at reduced capacity, but reverse admission wedges the slots")
+	}
+	if !MustTerminate(chain, OBE, 3) {
+		t.Errorf("chain: not OBE-must at full capacity")
+	}
+}
+
+// TestOracleRevChain: the reverse chain (signals flow against admission
+// order) is the minimal IFP-only discriminator: under any occupancy-bound
+// model a single slot wedges on WG 0, and the HSA adversary starves the
+// publisher forever.
+func TestOracleRevChain(t *testing.T) {
+	rev := mustDecode(t, "litmus:1:e0.1;s0.1")
+	if MustTerminate(rev, HSA, 2) {
+		t.Errorf("revchain: HSA-must, but the HSA adversary never runs WG 1")
+	}
+	for _, m := range []Model{OBE, LinOcc} {
+		if MustTerminate(rev, m, 1) {
+			t.Errorf("revchain: %s-must at cap 1, but WG 0 wedges the only slot", m)
+		}
+		if !MustTerminate(rev, m, 2) {
+			t.Errorf("revchain: not %s-must at cap 2, but both WGs fit", m)
+		}
+	}
+	if !MustTerminate(rev, IFP, 1) {
+		t.Errorf("revchain: not IFP-must, but it completes under fair scheduling")
+	}
+}
+
+// TestOracleRing: the rendezvous ring separates LinOcc from OBE: in-order
+// admission always keeps a satisfiable waiter resident at cap >= 2, but an
+// adversarial admission picking non-adjacent WGs wedges every slot.
+func TestOracleRing(t *testing.T) {
+	ring := mustDecode(t, "litmus:1:a0,g1.1;a1,g2.1;a2,g3.1;a3,g0.1")
+	if MustTerminate(ring, HSA, 4) {
+		t.Errorf("ring: HSA-must, but WG 0 blocks serially")
+	}
+	if MustTerminate(ring, LinOcc, 1) {
+		t.Errorf("ring: LinOcc-must at cap 1")
+	}
+	if !MustTerminate(ring, LinOcc, 2) {
+		t.Errorf("ring: not LinOcc-must at cap 2, but the prefix chain completes")
+	}
+	if MustTerminate(ring, OBE, 2) {
+		t.Errorf("ring: OBE-must at cap 2, but admitting WGs 0 and 2 wedges both slots")
+	}
+	if !MustTerminate(ring, OBE, 4) {
+		t.Errorf("ring: not OBE-must at full capacity")
+	}
+	if !MustTerminate(ring, IFP, 1) {
+		t.Errorf("ring: not IFP-must")
+	}
+}
+
+// TestOracleBroken: a wait on a never-written flag terminates under no
+// model, at any capacity.
+func TestOracleBroken(t *testing.T) {
+	broken := mustDecode(t, "litmus:1:a0,e1.1;a0")
+	for _, m := range Models() {
+		if MustTerminate(broken, m, 2) {
+			t.Errorf("broken: MustTerminate(%s) = true", m)
+		}
+	}
+}
+
+// TestOracleEmptyProgramAdmission pins the admission subtlety a hunt
+// exposed: an empty program past the admitted prefix must not count as
+// finished (it frees no slot until admitted). Here WG 0 waits on WG 1's
+// signal, WG 2 is empty: at cap 1 the prefix is {0}, which wedges — LinOcc
+// must not claim termination just because WG 2 has nothing to do.
+func TestOracleEmptyProgramAdmission(t *testing.T) {
+	l := kernels.Litmus{Progs: [][]kernels.LitmusOp{
+		{{Kind: kernels.LitmusWaitGE, Var: 0, Val: 1}},
+		{{Kind: kernels.LitmusAdd, Var: 0}},
+		nil,
+	}}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if MustTerminate(l, LinOcc, 1) {
+		t.Errorf("LinOcc-must at cap 1 with an empty trailing program, but the prefix {0} wedges")
+	}
+	if !MustTerminate(l, LinOcc, 2) {
+		t.Errorf("not LinOcc-must at cap 2")
+	}
+}
+
+// TestOracleContainments: must-terminate sets are ordered by model
+// strength — anything OBE guarantees, LinOcc guarantees; anything HSA or
+// LinOcc guarantees, IFP guarantees (the LinOcc adversary is one OBE
+// adversary; the fair scheduler subsumes them all).
+func TestOracleContainments(t *testing.T) {
+	for _, l := range Generate(42, 64) {
+		n := l.NumWGs()
+		for _, k := range []int{1, (n + 1) / 2, n} {
+			obe := MustTerminate(l, OBE, k)
+			hsa := MustTerminate(l, HSA, k)
+			lin := MustTerminate(l, LinOcc, k)
+			ifp := MustTerminate(l, IFP, k)
+			if obe && !lin {
+				t.Errorf("%s cap %d: OBE-must but not LinOcc-must", l.Encode(), k)
+			}
+			if hsa && !ifp {
+				t.Errorf("%s cap %d: HSA-must but not IFP-must", l.Encode(), k)
+			}
+			if lin && !ifp {
+				t.Errorf("%s cap %d: LinOcc-must but not IFP-must", l.Encode(), k)
+			}
+			if hsa && !lin {
+				t.Errorf("%s cap %d: HSA-must but not LinOcc-must", l.Encode(), k)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic: equal seeds yield identical pattern sets, the
+// i-th pattern is count-independent, and different seeds differ.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(9, 32)
+	b := Generate(9, 32)
+	for i := range a {
+		if a[i].Encode() != b[i].Encode() {
+			t.Fatalf("pattern %d differs across equal seeds", i)
+		}
+	}
+	short := Generate(9, 8)
+	for i := range short {
+		if short[i].Encode() != a[i].Encode() {
+			t.Fatalf("pattern %d depends on count", i)
+		}
+	}
+	c := Generate(10, 32)
+	same := 0
+	for i := range c {
+		if c[i].Encode() == a[i].Encode() {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Fatalf("seeds 9 and 10 generated identical sweeps")
+	}
+}
+
+// TestGenerateFairTermination: every family except broken constructs
+// fair-terminating (IFP-must) patterns; the broken family never does.
+func TestGenerateFairTermination(t *testing.T) {
+	pats := Generate(3, 64)
+	brokenSeen := 0
+	for i, l := range pats {
+		_, complete := l.FairFinal()
+		if families[i%len(families)] == FamBroken {
+			brokenSeen++
+			if complete {
+				t.Errorf("pattern %d (broken): completes under fair scheduling", i)
+			}
+			continue
+		}
+		if !complete {
+			t.Errorf("pattern %d (%s): does not complete under fair scheduling: %s",
+				i, families[i%len(families)], l.Encode())
+		}
+	}
+	if brokenSeen == 0 {
+		t.Fatalf("no broken patterns in 64; family rotation wrong")
+	}
+}

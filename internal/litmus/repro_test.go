@@ -1,0 +1,90 @@
+package litmus
+
+import (
+	"testing"
+
+	"awgsim/internal/fault"
+	"awgsim/internal/sim"
+)
+
+// This file commits the harness's shrunk minimal reproducers as policy
+// regression tests, in the exact form RenderGoTest emits them. Each
+// pattern must terminate under the named progress model at the given
+// capacity, so every IFP-providing policy has to complete it — and the
+// non-IFP Baseline's documented failure on the IFP-only shapes is pinned
+// too, diagnosis included.
+
+// reproCases are the canonical minimal discriminators the shrinker
+// converges to, one per progress-model boundary.
+var reproCases = []struct {
+	name    string
+	pattern string
+	model   Model
+	wgCap   int
+}{
+	// The two-WG reverse handoff: the minimal IFP-only pattern. WG 0
+	// wedges the single slot until the policy evicts it so WG 1 can
+	// publish.
+	{"revchain", "litmus:1:e0.1;s0.1", IFP, 1},
+	// The three-WG ring at two slots: LinOcc-must (the admitted prefix
+	// always contains a satisfiable waiter) — in-order admission plus
+	// fair occupants has to finish it even without eviction.
+	{"ring", "litmus:1:a0,g1.1;a1,g2.1;a2,g0.1", LinOcc, 2},
+	// The gather at one slot: IFP-only — every WG must take a turn
+	// bumping the counter before anyone's wait resolves.
+	{"gather", "litmus:1:a0,g0.3;a0,g0.3;a0,g0.3", IFP, 1},
+	// The broadcast at one slot with the publisher last: wake-one resume
+	// policies must not strand the remaining eq-waiters.
+	{"scatter", "litmus:1:e0.1;e0.1;s0.1", IFP, 1},
+}
+
+// TestLitmusReprosComplete: every policy that claims the violated model's
+// guarantee must complete each reproducer at its capacity. All policies
+// in the suite claim LinOcc (the dispatcher admits in ID order and
+// occupants share the machine fairly); only fault.ProvidesIFP policies
+// claim IFP.
+func TestLitmusReprosComplete(t *testing.T) {
+	for _, tc := range reproCases {
+		l := mustDecode(t, tc.pattern)
+		if !MustTerminate(l, tc.model, tc.wgCap) {
+			t.Fatalf("%s: %s no longer %s-must at cap %d; reproducer rotted",
+				tc.name, tc.pattern, tc.model, tc.wgCap)
+		}
+		for _, policy := range sim.Policies() {
+			if tc.model == IFP && !fault.ProvidesIFP(policy) {
+				continue
+			}
+			res, err := sim.Run(RunConfig(l, policy, tc.wgCap, 0))
+			if err != nil {
+				t.Errorf("%s: %s at cap %d: %v", tc.name, policy, tc.wgCap, err)
+				continue
+			}
+			if res.Deadlocked {
+				t.Errorf("%s: %s stalled at cap %d (%s-must): %s",
+					tc.name, policy, tc.wgCap, tc.model, res.Diagnosis.Summary())
+			}
+		}
+	}
+}
+
+// TestLitmusReprosBaselineDiagnosed pins the other half of the contract:
+// Baseline's expected failure on the IFP-only reproducers must stay a
+// *diagnosed* stall — deadlocked, with the blocking condition identified —
+// not a hang and not a verify-failing completion.
+func TestLitmusReprosBaselineDiagnosed(t *testing.T) {
+	for _, tc := range reproCases {
+		if tc.model != IFP {
+			continue
+		}
+		l := mustDecode(t, tc.pattern)
+		res, err := sim.Run(RunConfig(l, "Baseline", tc.wgCap, 0))
+		if err != nil {
+			t.Errorf("%s: Baseline at cap %d: %v", tc.name, tc.wgCap, err)
+			continue
+		}
+		if !res.Deadlocked || res.Diagnosis == nil {
+			t.Errorf("%s: Baseline at cap %d: want a diagnosed stall, got deadlocked=%v diagnosis=%v",
+				tc.name, tc.wgCap, res.Deadlocked, res.Diagnosis)
+		}
+	}
+}

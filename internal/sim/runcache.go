@@ -33,18 +33,54 @@ type cacheEntry struct {
 	res  metrics.Result
 	err  error
 	ran  bool // the session was constructed and executed
+	// completed mirrors "done is closed" for readers holding cacheMu (the
+	// evictor must not select still-running entries, and a channel cannot
+	// be polled under a mutex without racing the closer).
+	completed bool
 }
 
+// cacheQueueEntry records insertion order for FIFO eviction. A queue slot
+// can go stale — its entry evicted or deleted on a construction error, or
+// its key re-inserted with a fresh entry — so the evictor checks the map
+// still holds this exact entry before acting on it.
+type cacheQueueEntry struct {
+	key string
+	e   *cacheEntry
+}
+
+// defaultRunCacheCap bounds the resident cache. Sweeps hold a few thousand
+// unique cells; long-lived processes (litmus hunts, fuzzers) churn through
+// unbounded fingerprints and previously grew the map without limit.
+const defaultRunCacheCap = 8192
+
 var (
-	cacheMu  sync.Mutex
-	runCache = map[string]*cacheEntry{}
+	cacheMu    sync.Mutex
+	runCache   = map[string]*cacheEntry{}
+	cacheQueue []cacheQueueEntry // insertion order, guarded by cacheMu
+	cacheCap   = defaultRunCacheCap
 
 	dedupeOff atomic.Bool
 	cacheHits atomic.Uint64
+
+	// testHookConstruct, when set (tests only), runs after a first arrival
+	// claims its fingerprint and before session construction — the window
+	// where ResetCache can swap the map out from under it.
+	testHookConstruct func()
 )
 
 // SetDedupe toggles run deduplication (on by default).
 func SetDedupe(on bool) { dedupeOff.Store(!on) }
+
+// SetRunCacheCap bounds how many completed runs stay resident (default
+// 8192); the oldest entries are evicted first. n <= 0 removes the bound.
+// Eviction never changes results or the Totals() ledger — an evicted
+// duplicate simply re-simulates, bit-identically, on its next arrival.
+func SetRunCacheCap(n int) {
+	cacheMu.Lock()
+	cacheCap = n
+	evictLocked()
+	cacheMu.Unlock()
+}
 
 // CacheHits reports how many runs were satisfied by replaying a cached
 // duplicate since process start (or the last ResetCache).
@@ -54,8 +90,38 @@ func CacheHits() uint64 { return cacheHits.Load() }
 func ResetCache() {
 	cacheMu.Lock()
 	runCache = map[string]*cacheEntry{}
+	cacheQueue = nil
 	cacheMu.Unlock()
 	cacheHits.Store(0)
+}
+
+// evictLocked trims the cache to cacheCap, oldest insertion first. Entries
+// still simulating are never evicted — waiters are parked on their done
+// channel and the singleflight contract needs the map entry stable — so
+// the cache can transiently exceed the cap while everything resident is
+// in flight. Caller holds cacheMu.
+func evictLocked() {
+	if cacheCap <= 0 || len(runCache) <= cacheCap {
+		return
+	}
+	over := len(runCache) - cacheCap
+	kept := make([]cacheQueueEntry, 0, len(cacheQueue))
+	for i, qe := range cacheQueue {
+		if over <= 0 {
+			kept = append(kept, cacheQueue[i:]...)
+			break
+		}
+		if runCache[qe.key] != qe.e {
+			continue // stale slot: entry already gone or replaced
+		}
+		if !qe.e.completed {
+			kept = append(kept, qe)
+			continue
+		}
+		delete(runCache, qe.key)
+		over--
+	}
+	cacheQueue = kept
 }
 
 // fingerprint canonically encodes a declarative Config, reporting ok=false
@@ -107,19 +173,31 @@ func runDeduped(cfg Config) (metrics.Result, error) {
 	}
 	e = &cacheEntry{done: make(chan struct{})}
 	runCache[key] = e
+	cacheQueue = append(cacheQueue, cacheQueueEntry{key, e})
+	evictLocked()
 	cacheMu.Unlock()
 
+	if h := testHookConstruct; h != nil {
+		h()
+	}
 	s, err := NewSession(cfg)
 	if err != nil {
 		e.err = err
 		close(e.done)
 		cacheMu.Lock()
-		delete(runCache, key)
+		// Only drop our own entry: ResetCache may have swapped the map
+		// mid-run and a fresh first arrival can own this key by now.
+		if runCache[key] == e {
+			delete(runCache, key)
+		}
 		cacheMu.Unlock()
 		return metrics.Result{}, err
 	}
 	e.res, e.err = s.Run()
 	e.ran = true
+	cacheMu.Lock()
+	e.completed = true
+	cacheMu.Unlock()
 	close(e.done)
 	return e.res, e.err
 }

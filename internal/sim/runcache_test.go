@@ -99,6 +99,128 @@ func TestDedupeSkipsClosures(t *testing.T) {
 	}
 }
 
+// TestRunCacheBounded: the cache holds at most the configured cap, FIFO —
+// the newest entries replay, the oldest re-simulate after eviction.
+func TestRunCacheBounded(t *testing.T) {
+	ResetCache()
+	SetRunCacheCap(4)
+	defer SetRunCacheCap(defaultRunCacheCap)
+	for seed := uint64(101); seed <= 108; seed++ {
+		if _, err := Run(quickConfig("SPM_G", "AWG", false, seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cacheMu.Lock()
+	n, q := len(runCache), len(cacheQueue)
+	cacheMu.Unlock()
+	if n != 4 || q != 4 {
+		t.Fatalf("cache holds %d entries (queue %d) after 8 runs at cap 4", n, q)
+	}
+	h0 := CacheHits()
+	if _, err := Run(quickConfig("SPM_G", "AWG", false, 108)); err != nil {
+		t.Fatal(err)
+	}
+	if CacheHits() != h0+1 {
+		t.Fatalf("newest entry did not replay (%d hits, want %d)", CacheHits(), h0+1)
+	}
+	if _, err := Run(quickConfig("SPM_G", "AWG", false, 101)); err != nil {
+		t.Fatal(err)
+	}
+	if CacheHits() != h0+1 {
+		t.Fatalf("oldest entry replayed after eviction (%d hits, want %d)", CacheHits(), h0+1)
+	}
+}
+
+// TestEvictionSkipsInFlight: an entry still simulating is never evicted —
+// waiters are parked on its done channel and the singleflight contract
+// needs the map slot stable — so eviction passes over it to the next
+// completed entry.
+func TestEvictionSkipsInFlight(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	SetRunCacheCap(2)
+	defer SetRunCacheCap(defaultRunCacheCap)
+	cacheMu.Lock()
+	inflight := &cacheEntry{done: make(chan struct{})}
+	runCache["k0"] = inflight
+	cacheQueue = append(cacheQueue, cacheQueueEntry{"k0", inflight})
+	for i := 1; i <= 3; i++ {
+		e := &cacheEntry{done: make(chan struct{}), completed: true}
+		k := fmt.Sprintf("k%d", i)
+		runCache[k] = e
+		cacheQueue = append(cacheQueue, cacheQueueEntry{k, e})
+	}
+	evictLocked()
+	defer cacheMu.Unlock()
+	if runCache["k0"] != inflight {
+		t.Fatal("in-flight entry evicted")
+	}
+	if len(runCache) != 2 || runCache["k3"] == nil {
+		t.Fatalf("want in-flight k0 + newest k3 resident, have %d entries", len(runCache))
+	}
+	if len(cacheQueue) != 2 {
+		t.Fatalf("queue holds %d slots, want 2", len(cacheQueue))
+	}
+}
+
+// TestResetCacheRacesConstructionError pins the first-arrival error
+// cleanup against a mid-run ResetCache: the map is swapped while the
+// arrival is constructing, a fresh arrival claims the same fingerprint in
+// the new map, and the old arrival's failure cleanup must not delete the
+// new owner's entry.
+func TestResetCacheRacesConstructionError(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cfg := quickConfig("no-such-bench", "AWG", false, 1)
+	keyCfg := cfg
+	if err := keyCfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	key, ok := fingerprint(&keyCfg)
+	if !ok {
+		t.Fatal("config not fingerprintable")
+	}
+
+	ready := make(chan int)
+	proceed := make(chan struct{})
+	arrivals := 0
+	testHookConstruct = func() {
+		arrivals++
+		ready <- arrivals
+		<-proceed
+	}
+	defer func() { testHookConstruct = nil }()
+
+	errs := make(chan error, 2)
+	go func() { _, err := Run(cfg); errs <- err }()
+	<-ready      // arrival 1 holds the key, construction not started
+	ResetCache() // the map swap arrival 1 cannot see
+	go func() { _, err := Run(cfg); errs <- err }()
+	<-ready // arrival 2 owns the key in the new map, parked mid-construction
+
+	proceed <- struct{}{} // arrival 1: construction fails, cleanup runs
+	if err := <-errs; err == nil {
+		t.Fatal("unknown benchmark built")
+	}
+	cacheMu.Lock()
+	survived := runCache[key] != nil
+	cacheMu.Unlock()
+	if !survived {
+		t.Fatal("arrival 1's cleanup deleted arrival 2's in-flight entry")
+	}
+
+	proceed <- struct{}{} // arrival 2 finishes (and removes its own entry)
+	if err := <-errs; err == nil {
+		t.Fatal("unknown benchmark built")
+	}
+	cacheMu.Lock()
+	gone := runCache[key] == nil
+	cacheMu.Unlock()
+	if !gone {
+		t.Fatal("construction-error entry left resident")
+	}
+}
+
 // TestDedupeSingleflight: concurrent duplicates collapse onto one
 // simulation — one miss, the rest hits, every outcome identical.
 func TestDedupeSingleflight(t *testing.T) {
