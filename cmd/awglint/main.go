@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	go run ./cmd/awglint ./...        # report findings (exit 1 if any)
-//	go run ./cmd/awglint -fix ./...   # also apply mechanical suggested fixes
+//	go run ./cmd/awglint ./...                     # report findings (exit 1 if any)
+//	go run ./cmd/awglint -fix ./...                # also apply mechanical suggested fixes
+//	go run ./cmd/awglint -json ./...               # machine-readable findings
+//	go run ./cmd/awglint -write-baseline B ./...   # snapshot current findings
+//	go run ./cmd/awglint -baseline B ./...         # report only new findings
 //
 // Findings are suppressed line-by-line with a justified directive:
 //
@@ -17,12 +20,15 @@ package main
 
 import (
 	"awgsim/internal/lint/analyzers/ctorerr"
+	"awgsim/internal/lint/analyzers/fpcover"
 	"awgsim/internal/lint/analyzers/hotpathalloc"
 	"awgsim/internal/lint/analyzers/hotpathmap"
 	"awgsim/internal/lint/analyzers/nilness"
+	"awgsim/internal/lint/analyzers/replaypure"
 	"awgsim/internal/lint/analyzers/schedpast"
 	"awgsim/internal/lint/analyzers/shadow"
 	"awgsim/internal/lint/analyzers/simdeterminism"
+	"awgsim/internal/lint/analyzers/snapcover"
 	"awgsim/internal/lint/analyzers/waiterhome"
 	"awgsim/internal/lint/checker"
 )
@@ -32,6 +38,9 @@ func main() {
 		simdeterminism.Analyzer,
 		hotpathalloc.Analyzer,
 		hotpathmap.Analyzer,
+		snapcover.Analyzer,
+		fpcover.Analyzer,
+		replaypure.Analyzer,
 		waiterhome.Analyzer,
 		ctorerr.Analyzer,
 		schedpast.Analyzer,

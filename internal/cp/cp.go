@@ -66,16 +66,16 @@ type Processor struct {
 	rotate int        // round-robin start offset
 	maxTab int
 
-	started bool
-	stopped func() bool
+	started bool        //lint:allow snapcover lifecycle latch set by Start; restore targets an already-started processor
+	stopped func() bool //lint:allow snapcover engine-stop probe wired at start; function values are re-wired, not snapshotted
 	// jitter perturbs loop cadence; its pseudo-random walk lives in
 	// jitterState (not a closure variable) so Snapshot/Restore rewinds it.
 	jitter      func(state *uint64, base event.Cycle) event.Cycle
 	jitterState uint64
 
-	drainFn, checkFn func()     // hoisted loop continuations (fire every pass)
-	scratch          []condKey  // checkPass walk snapshot, reused across passes
-	wakeBuf          []gpu.WGID // met-condition waiter snapshot, reused
+	drainFn, checkFn func()     //lint:allow snapcover hoisted episode continuations wired once at start; a restored processor reuses the armed loops
+	scratch          []condKey  //lint:allow snapcover reusable scratch, rebuilt from the table every pass; dead between passes
+	wakeBuf          []gpu.WGID //lint:allow snapcover reusable scratch, rebuilt from the table every pass; dead between passes
 }
 
 // New builds a processor draining log on machine m. wake delivers met

@@ -81,12 +81,12 @@ type Engine struct {
 	now      Cycle
 	seq      uint64
 	executed uint64
-	stopped  bool
+	stopped  bool //lint:allow snapcover cleared by restore; snapshots are only taken from running engines
 
 	near     [nearSize]bucket
 	far      [farSize]bucket
-	nearBase Cycle // start of the near window, always nearSize-aligned
-	nearScan Cycle // lower bound on the earliest unconsumed near entry
+	nearBase Cycle //lint:allow snapcover derived wheel geometry; restore recomputes it from the snapshot cycle
+	nearScan Cycle //lint:allow snapcover derived wheel geometry; restore recomputes it from the snapshot cycle
 	nearCnt  int   // unconsumed entries in the near wheel
 	farCnt   int   // entries in the far wheel
 

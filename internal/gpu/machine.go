@@ -54,17 +54,17 @@ type Machine struct {
 
 	Count Counters
 
-	tracer *trace.Recorder
+	tracer *trace.Recorder //lint:allow snapcover observational trace sink wired by the host, not simulation state
 
 	completed    int
 	maxWait      uint64
 	lastDoneAt   event.Cycle
 	lastProgress event.Cycle
 	deadlocked   bool
-	ran          bool
+	ran          bool //lint:allow snapcover one-shot Run latch; snapshots fork mid-run and restore into the same run
 
 	diag      *metrics.Diagnosis
-	diagSinks []func(*metrics.Diagnosis)
+	diagSinks []func(*metrics.Diagnosis) //lint:allow snapcover host-side diagnosis callbacks; function values are re-wired, not snapshotted
 
 	wgWait sync.WaitGroup
 
@@ -76,9 +76,9 @@ type Machine struct {
 	// snapshots; replaying suppresses watchdog/ring side effects while a
 	// diagnosis replay re-executes a window of the run.
 	snapHooks   []snapHook
-	respLogging bool
-	replaying   bool
-	snapRing    []*Snapshot
+	respLogging bool        //lint:allow snapcover replay-capture switch; toggled by the replay driver around a restore, never inside it
+	replaying   bool        //lint:allow snapcover the replay flag itself gates restore side effects; carrying it through a snapshot would wedge replays on
+	snapRing    []*Snapshot //lint:allow snapcover the watchdog ring holds snapshots; capturing it inside one would recurse
 }
 
 // NewMachine builds a machine for one kernel launch under one policy.

@@ -1,0 +1,12 @@
+package fpcover_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/fpcover"
+)
+
+func TestFPCover(t *testing.T) {
+	analysistest.Run(t, fpcover.Analyzer, "fpc/sim", "fpc/consumer")
+}

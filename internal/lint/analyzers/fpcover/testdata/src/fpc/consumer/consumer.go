@@ -1,0 +1,17 @@
+// Package consumer reads sim.Config fields from an importing package: the
+// fingerprint read set reaches it as a package fact.
+package consumer
+
+import "awgsim/internal/lint/analyzers/fpcover/testdata/src/fpc/sim"
+
+// Plan reads the unfingerprinted Oversub field (twice) and the
+// fingerprinted Benchmark field, and stores into Tag without reading it.
+func Plan(c *sim.Config) int {
+	n := 1
+	if c.Oversub > 0 { // want `Config field Oversub is read by simulation code but absent from the run-cache fingerprint`
+		n = c.Oversub // want `Config field Oversub is read by simulation code but absent from the run-cache fingerprint`
+	}
+	c.Tag = "planned" // pure store: not a read, no finding
+	_ = c.Benchmark   // fingerprinted: fine
+	return n
+}

@@ -1,0 +1,36 @@
+// Package sim is a structural stand-in for awgsim/internal/sim: the
+// analyzer matches the Config type and fingerprint function by name in any
+// package whose path ends in "/sim".
+package sim
+
+import "strconv"
+
+// Config mirrors the run-configuration surface: two fingerprinted fields,
+// two consulted-but-unfingerprinted ones, and a write-only tag.
+type Config struct {
+	Benchmark string
+	Seed      int64
+	Oversub   int
+	Verbose   bool
+	Tag       string
+}
+
+// fingerprint folds Benchmark and Seed — deliberately not Oversub or
+// Verbose — into the cache key, via a helper to prove the read set is
+// interprocedural.
+func fingerprint(c *Config) string {
+	return c.Benchmark + "|" + encodeSeed(c)
+}
+
+func encodeSeed(c *Config) string {
+	return strconv.FormatInt(c.Seed, 10)
+}
+
+// Run consults Verbose, which the fingerprint above ignores.
+func Run(c *Config) string {
+	key := fingerprint(c)
+	if c.Verbose { // want `Config field Verbose is read by simulation code but absent from the run-cache fingerprint`
+		key += "+v"
+	}
+	return key
+}

@@ -5,9 +5,16 @@
 // (and often a heap-escaped context) for every event. On the simulator's
 // highest-rate paths — CU issue, bank service, wake delivery — that cost a
 // 4–7x slowdown before pooled event.Task replaced it. The analyzer flags a
-// capturing function literal passed directly to Engine.At / After /
-// AtTask / AfterTask (or to Engine.NewTask) inside the hot-path packages
-// (internal/gpu, internal/syncmon, internal/policy).
+// capturing function literal passed directly to an Engine scheduling
+// method (At / After / AtWithSeq / AtTask / AfterTask / NewTask) inside
+// the hot-path packages (internal/gpu, internal/syncmon, internal/policy).
+//
+// The check is interprocedural: the ipsummary framework marks
+// function-typed parameters that a callee (transitively, across package
+// boundaries via facts) forwards into an engine-schedule call. A capturing
+// literal handed to such a forwarder is flagged exactly like one handed to
+// Engine.At directly — wrapping the schedule in a helper does not launder
+// the per-event allocation.
 //
 // The sanctioned patterns remain available:
 //   - pooled tasks: e.NewTask(topLevelFunc) with arguments in Env/I slots;
@@ -26,13 +33,15 @@ import (
 	"strings"
 
 	"awgsim/internal/lint/analysis"
+	"awgsim/internal/lint/interproc"
 )
 
 // Analyzer is the hotpathalloc analyzer.
 var Analyzer = &analysis.Analyzer{
-	Name: "hotpathalloc",
-	Doc:  "forbid capturing closure literals scheduled on the event engine in hot-path packages",
-	Run:  run,
+	Name:     "hotpathalloc",
+	Doc:      "forbid capturing closure literals scheduled on the event engine in hot-path packages",
+	Requires: []*analysis.Analyzer{interproc.Analyzer},
+	Run:      run,
 }
 
 // hotPackages are the package-path suffixes whose scheduling sites are on
@@ -40,44 +49,52 @@ var Analyzer = &analysis.Analyzer{
 // testable from analysistest testdata packages of the same name.
 var hotPackages = []string{"/gpu", "/syncmon", "/policy"}
 
-// schedMethods are the event.Engine methods that place work on the
-// calendar (NewTask included: a capturing TaskFunc defeats pooling).
-var schedMethods = map[string]bool{
-	"At": true, "After": true, "AtTask": true, "AfterTask": true, "NewTask": true,
-}
-
 func run(pass *analysis.Pass) (any, error) {
 	if !inScope(pass.Pkg.Path()) {
 		return nil, nil
 	}
+	ip := pass.ResultOf[interproc.Analyzer].(*interproc.Result)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			name, ok := engineSchedCall(pass, call)
-			if !ok {
+			if name, ok := interproc.EngineSchedCall(pass.TypesInfo, call); ok {
+				for _, arg := range call.Args {
+					reportCapturing(pass, arg, "scheduled via Engine."+name)
+				}
 				return true
 			}
-			for _, arg := range call.Args {
-				lit, ok := arg.(*ast.FuncLit)
-				if !ok {
-					continue
-				}
-				if capt := captured(pass, lit); len(capt) > 0 {
-					pass.Report(analysis.Diagnostic{
-						Pos: lit.Pos(), End: lit.Type.End(),
-						Message: "capturing closure (" + strings.Join(capt, ", ") + ") scheduled via Engine." +
-							name + " allocates per event; use a pooled Task (Engine.NewTask + Env/I slots) " +
-							"or hoist the closure out of the per-event path",
-					})
+			// A callee whose summary forwards a func-typed parameter into
+			// an engine-schedule call is a scheduling site by proxy.
+			callee, fwd := forwarder(pass, ip, call)
+			for _, i := range fwd {
+				if i < len(call.Args) {
+					reportCapturing(pass, call.Args[i],
+						"forwarded to "+callee+" which schedules it on the engine")
 				}
 			}
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// reportCapturing flags arg if it is a func literal with free variables.
+func reportCapturing(pass *analysis.Pass, arg ast.Expr, via string) {
+	lit, ok := arg.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	if capt := captured(pass, lit); len(capt) > 0 {
+		pass.Report(analysis.Diagnostic{
+			Pos: lit.Pos(), End: lit.Type.End(),
+			Message: "capturing closure (" + strings.Join(capt, ", ") + ") " + via +
+				" allocates per event; use a pooled Task (Engine.NewTask + Env/I slots) " +
+				"or hoist the closure out of the per-event path",
+		})
+	}
 }
 
 func inScope(path string) bool {
@@ -89,34 +106,24 @@ func inScope(path string) bool {
 	return false
 }
 
-// engineSchedCall reports whether call invokes a scheduling method on
-// *event.Engine (matched by type name, so testdata stand-ins work) and
-// returns the method name.
-func engineSchedCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !schedMethods[sel.Sel.Name] {
-		return "", false
+// forwarder resolves call's static callee and returns its display name
+// plus the argument indices its summary forwards into engine scheduling.
+func forwarder(pass *analysis.Pass, ip *interproc.Result, call *ast.CallExpr) (string, []int) {
+	var obj *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		obj, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
 	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok {
-		return "", false
+	if obj == nil {
+		return "", nil
 	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return "", false
+	s := ip.SummaryOf(obj)
+	if s == nil || len(s.SchedParams) == 0 {
+		return "", nil
 	}
-	rt := sig.Recv().Type()
-	if p, isPtr := rt.(*types.Pointer); isPtr {
-		rt = p.Elem()
-	}
-	named, ok := rt.(*types.Named)
-	if !ok || named.Obj().Name() != "Engine" {
-		return "", false
-	}
-	if pkg := named.Obj().Pkg(); pkg == nil || !strings.HasSuffix(pkg.Path(), "event") {
-		return "", false
-	}
-	return sel.Sel.Name, true
+	return obj.Name(), s.SchedParams
 }
 
 // captured returns the names of free variables the literal captures:

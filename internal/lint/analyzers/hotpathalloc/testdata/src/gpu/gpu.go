@@ -49,3 +49,28 @@ func (m *machine) snapshotRingNaive(every event.Cycle) {
 }
 
 func runStep(t *event.Task) { t.Env[0].(*machine).n++ }
+
+// atSeq forwards its callback into Engine.AtWithSeq; ipsummary marks fn
+// as a scheduling parameter.
+func (m *machine) atSeq(seq int, fn func()) {
+	m.eng.AtWithSeq(m.eng.Now(), seq, fn)
+}
+
+// armLater hops through atSeq — the in-component fixpoint must propagate
+// the scheduling-parameter mark one level further.
+func (m *machine) armLater(fn func()) { m.atSeq(7, fn) }
+
+func (m *machine) forwarded(w int) {
+	m.eng.AtWithSeq(0, 1, func() { m.n += w }) // want `capturing closure \(m, w\) scheduled via Engine\.AtWithSeq`
+
+	m.atSeq(2, func() { m.n++ })    // want `capturing closure \(m\) forwarded to atSeq which schedules it on the engine`
+	m.armLater(func() { m.n += w }) // want `capturing closure \(m, w\) forwarded to armLater which schedules it on the engine`
+
+	// Cross-package forwarder: event.Defer's summary arrives via the fact.
+	event.Defer(m.eng, func() { m.n++ }) // want `capturing closure \(m\) forwarded to Defer which schedules it on the engine`
+
+	m.atSeq(3, func() { println("static") }) // non-capturing: fine through forwarders too
+
+	hoisted := func() { m.n++ }
+	m.armLater(hoisted) // identifier at the call site: hoisted once per episode
+}

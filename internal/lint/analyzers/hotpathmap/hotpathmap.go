@@ -10,13 +10,14 @@
 // bank-service or wake root — quietly reverts that, so the analyzer flags
 // it at review time.
 //
-// Reachability is a same-package over-approximation: any reference to a
-// package function from a hot function counts as a call (this deliberately
-// includes functions passed as values — e.g. pooled-task callees — which
-// do run on the hot path). Cold code sharing a package is not flagged
-// unless a hot root reaches it. len(m) is allowed (no hashing); a
-// genuinely cold or setup-time map access on a hot path carries a
-// `//lint:allow hotpathmap <reason>` directive.
+// Reachability comes from the ipsummary call graph: a root's composed
+// summary carries its transitive Calls set, which deliberately includes
+// functions referenced as values — e.g. pooled-task callees — since those
+// do run on the hot path. Reporting stays same-package: cold code sharing
+// a package is not flagged unless a hot root reaches it, and cross-package
+// callees are the importing package's problem. len(m) is allowed (no
+// hashing); a genuinely cold or setup-time map access on a hot path
+// carries a `//lint:allow hotpathmap <reason>` directive.
 package hotpathmap
 
 import (
@@ -25,13 +26,15 @@ import (
 	"strings"
 
 	"awgsim/internal/lint/analysis"
+	"awgsim/internal/lint/interproc"
 )
 
 // Analyzer is the hotpathmap analyzer.
 var Analyzer = &analysis.Analyzer{
-	Name: "hotpathmap",
-	Doc:  "forbid Go map access in functions reachable from bank-service/wake hot paths",
-	Run:  run,
+	Name:     "hotpathmap",
+	Doc:      "forbid Go map access in functions reachable from bank-service/wake hot paths",
+	Requires: []*analysis.Analyzer{interproc.Analyzer},
+	Run:      run,
 }
 
 // scope names one hot package (by path suffix, so testdata stand-ins
@@ -78,54 +81,16 @@ func run(pass *analysis.Pass) (any, error) {
 	if sc == nil {
 		return nil, nil
 	}
-	// Collect the package's function declarations, keeping file order so
-	// the walk (and the diagnostics it emits) is deterministic.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	var order []*types.Func
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[obj] = fd
-				order = append(order, obj)
-			}
-		}
-	}
-	// Flood same-package reachability from the roots. Any use of a package
-	// function inside a hot body is an edge, call or not.
-	reachable := map[*types.Func]bool{}
-	var queue []*types.Func
-	for _, obj := range order {
-		if sc.roots[decls[obj].Name.Name] {
-			reachable[obj] = true
-			queue = append(queue, obj)
-		}
-	}
-	for len(queue) > 0 {
-		obj := queue[0]
-		queue = queue[1:]
-		ast.Inspect(decls[obj].Body, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
-			if !ok || callee.Pkg() != pass.Pkg {
-				return true
-			}
-			if _, hasBody := decls[callee]; hasBody && !reachable[callee] {
-				reachable[callee] = true
-				queue = append(queue, callee)
-			}
-			return true
-		})
-	}
-	for _, obj := range order {
-		if reachable[obj] {
-			checkBody(pass, decls[obj])
+	// ipsummary already holds the package's declarations in file order and
+	// each root's transitive Calls set (function-value references included),
+	// so reachability is a single hop per root.
+	ip := pass.ResultOf[interproc.Analyzer].(*interproc.Result)
+	reachable := ip.Reachable(func(obj *types.Func, fd *ast.FuncDecl) bool {
+		return fd != nil && fd.Body != nil && sc.roots[fd.Name.Name]
+	})
+	for _, obj := range ip.Order {
+		if reachable[obj] && ip.Decls[obj].Body != nil {
+			checkBody(pass, ip.Decls[obj])
 		}
 	}
 	return nil, nil

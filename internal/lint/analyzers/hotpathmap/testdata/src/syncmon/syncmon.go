@@ -32,6 +32,30 @@ func (m *monitor) bump(addr uint64) {
 	m.conds[addr]++ // want `map indexed in bump, reachable from a bank-service/wake hot path`
 }
 
+// spill reaches drainOne only as a function value (a pooled-task callee
+// pattern): the ipsummary call graph counts value references as edges, so
+// the callee is still hot.
+func (m *monitor) spill(addr uint64) {
+	step := m.drainOne
+	step(addr)
+}
+
+// wakeAllOnAddr reaches sweepTwo two calls deep: the transitive Calls set
+// in the root's summary covers the whole chain.
+func (m *monitor) wakeAllOnAddr(addr uint64) {
+	m.sweepOne(addr)
+}
+
+func (m *monitor) sweepOne(addr uint64) { m.sweepTwo(addr) }
+
+func (m *monitor) sweepTwo(addr uint64) {
+	delete(m.waiters, addr) // want `map deleted from in sweepTwo, reachable from a bank-service/wake hot path`
+}
+
+func (m *monitor) drainOne(addr uint64) {
+	m.waiters[addr] = nil // want `map indexed in drainOne, reachable from a bank-service/wake hot path`
+}
+
 // report is never reached from a root: its map traffic is cold and legal.
 func (m *monitor) report() int {
 	total := 0

@@ -1,0 +1,12 @@
+package replaypure_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/replaypure"
+)
+
+func TestReplayPure(t *testing.T) {
+	analysistest.Run(t, replaypure.Analyzer, "rp/gpu")
+}

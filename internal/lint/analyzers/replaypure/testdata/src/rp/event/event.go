@@ -1,0 +1,14 @@
+// Package event is a structural stand-in for awgsim/internal/event: the
+// analyzer matches the Engine type by name and package-path suffix.
+package event
+
+// Cycle mirrors event.Cycle.
+type Cycle uint64
+
+// Engine mirrors the scheduling and stop surface of event.Engine.
+type Engine struct{ stopped bool }
+
+func (e *Engine) At(at Cycle, fn func())        {}
+func (e *Engine) After(d Cycle, fn func())      {}
+func (e *Engine) AtWithSeq(at Cycle, fn func()) {}
+func (e *Engine) Stop()                         { e.stopped = true }

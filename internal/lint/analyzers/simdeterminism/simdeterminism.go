@@ -31,13 +31,19 @@ import (
 	"go/types"
 
 	"awgsim/internal/lint/analysis"
+	"awgsim/internal/lint/interproc"
 )
 
 // Analyzer is the simdeterminism analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "simdeterminism",
-	Doc:  "forbid wall-clock reads, global math/rand, and order-leaking map iteration",
-	Run:  run,
+	Doc: "forbid wall-clock reads, global math/rand, and order-leaking map iteration\n\n" +
+		"Map-range bodies are judged against interprocedural effect summaries:\n" +
+		"calling a helper is order-safe when the helper's composed summary is\n" +
+		"pure (no non-local writes, scheduling, nondeterminism, or unknown\n" +
+		"callees), instead of flagging every call syntactically.",
+	Requires: []*analysis.Analyzer{interproc.Analyzer},
+	Run:      run,
 }
 
 // forbiddenCalls maps package path -> function name -> explanation.
@@ -57,6 +63,7 @@ var randConstructors = map[string]bool{
 }
 
 func run(pass *analysis.Pass) (any, error) {
+	ip := pass.ResultOf[interproc.Analyzer].(*interproc.Result)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -64,7 +71,7 @@ func run(pass *analysis.Pass) (any, error) {
 				checkCall(pass, n)
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					checkMapRanges(pass, n.Body)
+					checkMapRanges(pass, ip, n.Body)
 				}
 				return true
 			}
@@ -101,7 +108,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 }
 
 // checkMapRanges walks one function body for range-over-map loops.
-func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkMapRanges(pass *analysis.Pass, ip *interproc.Result, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -114,7 +121,7 @@ func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
 		if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		w := &bodyWalk{pass: pass, rng: rng}
+		w := &bodyWalk{pass: pass, ip: ip, rng: rng}
 		w.checkStmts(rng.Body.List)
 		if !w.sensitive {
 			return true
@@ -136,6 +143,7 @@ func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
 // bodyWalk classifies a range body as order-insensitive or not.
 type bodyWalk struct {
 	pass      *analysis.Pass
+	ip        *interproc.Result
 	rng       *ast.RangeStmt
 	sensitive bool
 	why       string
@@ -189,8 +197,18 @@ func (w *bodyWalk) checkStmt(s ast.Stmt) {
 			w.flag("updates " + types.ExprString(s.X))
 		}
 	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(w.pass, call, "delete") {
-			return
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if isBuiltin(w.pass, call, "delete") {
+				return
+			}
+			// Interprocedural escape: a callee whose composed summary is
+			// pure cannot leak iteration order no matter when it runs.
+			if w.ip.PureCall(w.pass.TypesInfo, call) {
+				for _, arg := range call.Args {
+					w.checkExpr(arg)
+				}
+				return
+			}
 		}
 		w.flag("calls a function whose effects may be order-sensitive")
 	case *ast.IfStmt:
@@ -339,6 +357,10 @@ func (w *bodyWalk) checkExpr(e ast.Expr) {
 			isBuiltin(w.pass, call, "append"), isBuiltin(w.pass, call, "delete"),
 			isBuiltin(w.pass, call, "min"), isBuiltin(w.pass, call, "max"),
 			isConversion(w.pass, call):
+			return true
+		case w.ip.PureCall(w.pass.TypesInfo, call):
+			// Pure per its interprocedural summary: value depends only on
+			// arguments, which are themselves vetted.
 			return true
 		default:
 			w.flag("calls " + types.ExprString(call.Fun) + " inside the loop")

@@ -1,0 +1,265 @@
+// Package snapcover verifies statically that every type carrying a
+// Snapshot/Restore transfer pair covers all of its mutable state: each
+// field that runtime code mutates must be captured by the Snapshot side AND
+// reinstated by the Restore side — transitively through embedded and
+// nested structs — or carry an explicit `//lint:allow snapcover <reason>`
+// on its declaration.
+//
+// Coverage is judged on the interprocedural summaries of the pair's
+// transitive call closure, so copying a nested slab field-by-field in a
+// helper, delegating to a nested type's own snapshot/restore, or invoking
+// a Clone/CopyFrom on a field all count. A field is considered mutable
+// when it is exported (callers anywhere may write it) or when some
+// non-constructor function in the declaring package writes it; fields
+// written only during construction (New*/init*) are immutable wiring and
+// exempt.
+//
+// This check subsumes the reflect-based snapshot_guard tests: those fired
+// at test time after a field shipped, this one fires in `make lint` at the
+// field's declaration site.
+package snapcover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"awgsim/internal/lint/analysis"
+	"awgsim/internal/lint/interproc"
+)
+
+// Analyzer is the snapcover entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapcover",
+	Doc: "snapshot/restore pairs must cover every mutable field of their type\n\n" +
+		"Transitive coverage through helpers, delegation, and nested structs is\n" +
+		"computed from interprocedural summaries; uncovered mutable fields are\n" +
+		"reported at their declaration so `//lint:allow snapcover <reason>` can\n" +
+		"sit beside the field it exempts.",
+	Requires: []*analysis.Analyzer{interproc.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	r := pass.ResultOf[interproc.Analyzer].(*interproc.Result)
+	pkgPath := pass.Pkg.Path()
+
+	// Field declaration sites, for reporting at the field itself.
+	declPos := map[interproc.FieldKey]token.Pos{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if len(fld.Names) == 0 {
+					// Embedded field: named after its type.
+					name := embeddedName(fld.Type)
+					if name != "" {
+						declPos[interproc.FieldKey{Pkg: pkgPath, Type: ts.Name.Name, Field: name}] = fld.Pos()
+					}
+					continue
+				}
+				for _, id := range fld.Names {
+					declPos[interproc.FieldKey{Pkg: pkgPath, Type: ts.Name.Name, Field: id.Name}] = id.Pos()
+				}
+			}
+			return true
+		})
+	}
+
+	scope := pass.Pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	reported := map[interproc.FieldKey]bool{}
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		snap, rest := interproc.SnapshotPair(named)
+		if snap == nil || rest == nil {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		c := &checker{
+			pass:     pass,
+			r:        r,
+			pkgPath:  pkgPath,
+			declPos:  declPos,
+			snapSum:  r.SummaryOf(snap),
+			restSum:  r.SummaryOf(rest),
+			pairName: name,
+			reported: reported,
+			visiting: map[*types.Named]bool{},
+		}
+		c.checkStruct(named, st, "")
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	r        *interproc.Result
+	pkgPath  string
+	declPos  map[interproc.FieldKey]token.Pos
+	snapSum  *interproc.Summary
+	restSum  *interproc.Summary
+	pairName string
+	reported map[interproc.FieldKey]bool
+	visiting map[*types.Named]bool
+}
+
+// checkStruct verifies one struct's fields against the pair's closure,
+// recursing into same-package named struct fields whose state the pair may
+// cover field-by-field. via carries the access path for messages.
+func (c *checker) checkStruct(named *types.Named, st *types.Struct, via string) {
+	if c.visiting[named] {
+		return
+	}
+	c.visiting[named] = true
+	defer delete(c.visiting, named)
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fk := interproc.FieldKey{Pkg: c.pkgPath, Type: named.Obj().Name(), Field: f.Name()}
+		inSnap := covers(c.snapSum, fk)
+		inRest := covers(c.restSum, fk)
+		if inSnap && inRest {
+			continue
+		}
+		// A nested same-package struct may be covered member-by-member
+		// instead of as a whole — descend before judging the outer field
+		// (whose own mutability is irrelevant: the nested fields mutate
+		// through it even when the field itself is never reassigned).
+		// Types with their own transfer pair don't get this leniency: the
+		// pair must be *invoked* for the field, which would have shown up
+		// as coverage above. A nested type nothing in the package writes
+		// outside construction (a Config/Options/Spec block wired once in
+		// New*) is not descended into: its exported fields are unreachable
+		// for writers when the path field is unexported, so the field is
+		// judged as a unit below instead of member-by-member.
+		if nt, nst, ok := nestedStruct(f.Type(), c.pkgPath); ok {
+			if s, r := interproc.SnapshotPair(nt); s == nil || r == nil {
+				if c.typeMutated(nt) {
+					c.checkStruct(nt, nst, joinVia(via, named.Obj().Name()+"."+f.Name()))
+					continue
+				}
+			}
+		}
+		if !c.mutable(fk, f) {
+			continue
+		}
+		if c.reported[fk] {
+			continue
+		}
+		c.reported[fk] = true
+		pos := c.declPos[fk]
+		if !pos.IsValid() {
+			pos = named.Obj().Pos()
+		}
+		c.pass.Reportf(pos, "mutable field %s.%s is %s by the %s snapshot/restore pair%s",
+			fk.Type, fk.Field, missing(inSnap, inRest), c.pairName, viaSuffix(via))
+	}
+}
+
+func missing(inSnap, inRest bool) string {
+	switch {
+	case !inSnap && !inRest:
+		return "not covered"
+	case !inSnap:
+		return "not captured on the snapshot side"
+	default:
+		return "not reinstated on the restore side"
+	}
+}
+
+func joinVia(via, seg string) string {
+	if via == "" {
+		return seg
+	}
+	return via + " -> " + seg
+}
+
+func viaSuffix(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " (reached via " + via + ")"
+}
+
+// mutable reports whether runtime code can change the field: exported
+// fields always (any importer may write them), unexported ones when a
+// non-constructor function in this package writes them.
+func (c *checker) mutable(fk interproc.FieldKey, f *types.Var) bool {
+	if f.Exported() {
+		return true
+	}
+	return len(c.r.MutWrites[fk]) > 0
+}
+
+// typeMutated reports whether any field declared on the named type is
+// written outside construction anywhere in this package — the signal that
+// a pair-less nested struct carries runtime state worth descending into.
+func (c *checker) typeMutated(nt *types.Named) bool {
+	name := nt.Obj().Name()
+	hit := false
+	//lint:allow simdeterminism commutative boolean OR over the write index
+	for fk := range c.r.MutWrites {
+		if fk.Pkg == c.pkgPath && fk.Type == name {
+			hit = true
+		}
+	}
+	return hit
+}
+
+// nestedStruct unwraps pointers and returns the named struct type of a
+// field declared in the same package, if any.
+func nestedStruct(t types.Type, pkgPath string) (*types.Named, *types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != pkgPath {
+		return nil, nil, false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil, false
+	}
+	return named, st, true
+}
+
+func covers(s *interproc.Summary, fk interproc.FieldKey) bool {
+	return s != nil && (s.Reads[fk] || s.Writes[fk])
+}
+
+func embeddedName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.Ident:
+			return x.Name
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

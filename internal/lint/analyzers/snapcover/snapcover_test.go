@@ -1,0 +1,12 @@
+package snapcover_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/snapcover"
+)
+
+func TestSnapCover(t *testing.T) {
+	analysistest.Run(t, snapcover.Analyzer, "sc")
+}

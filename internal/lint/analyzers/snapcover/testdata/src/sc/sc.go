@@ -1,0 +1,107 @@
+// Package sc seeds snapshot-coverage shapes: a machine whose transfer pair
+// misses fields outright, misses one side only, delegates to a nested
+// type's pair, copies a nested slab member-by-member, and leaves
+// constructor-only wiring untouched.
+package sc
+
+// Machine carries the exemplar mix of covered, uncovered, delegated, and
+// immutable state.
+type Machine struct {
+	cycles  uint64
+	stalled bool // want `mutable field Machine\.stalled is not covered by the Machine snapshot/restore pair`
+	oneWay  int  // want `mutable field Machine\.oneWay is not reinstated on the restore side by the Machine snapshot/restore pair`
+	log     *Log
+	slab    slab
+	stride  int // written only by NewMachine: immutable geometry, exempt
+	cfg     config
+	eng     *engine
+}
+
+// Snap is Machine's snapshot payload.
+type Snap struct {
+	cycles  uint64
+	oneWay  int
+	log     *LogSnap
+	slabEnt []entry
+	slabGen uint64
+}
+
+// Log has its own transfer pair; Machine delegates to it.
+type Log struct {
+	lines []string
+	drops int // want `mutable field Log\.drops is not covered by the Log snapshot/restore pair`
+}
+
+// LogSnap is Log's snapshot payload.
+type LogSnap struct{ lines []string }
+
+func (l *Log) snapshot() *LogSnap { return &LogSnap{lines: append([]string(nil), l.lines...)} }
+func (l *Log) restore(s *LogSnap) { l.lines = append(l.lines[:0], s.lines...) }
+
+// slab is a nested struct without its own pair: the Machine pair covers it
+// member-by-member (ents, gen) but misses hot.
+type slab struct {
+	ents []entry
+	gen  uint64
+	hot  int // want `mutable field slab\.hot is not covered by the Machine snapshot/restore pair`
+}
+
+type entry struct{ v int }
+
+// config is a pair-less nested struct with exported fields that nothing
+// writes outside construction: the analyzer must not descend into it (its
+// exported fields are unreachable for writers through the unexported cfg
+// field), so no findings despite the missing coverage.
+type config struct {
+	Rate  int
+	Depth int
+}
+
+// engine is runtime wiring: never written after construction, exempt.
+type engine struct{ width int }
+
+// NewMachine is constructor wiring; its writes do not make fields mutable.
+func NewMachine(width int) *Machine {
+	m := &Machine{stride: width, eng: &engine{width: width}}
+	m.cfg = config{Rate: width, Depth: 2}
+	m.log = &Log{}
+	return m
+}
+
+// Step is the runtime mutator that makes the fields above interesting.
+func (m *Machine) Step() {
+	m.cycles++
+	m.stalled = !m.stalled
+	m.oneWay++
+	m.slab.ents = append(m.slab.ents, entry{v: int(m.cycles)})
+	m.slab.gen++
+	m.slab.hot++
+	m.log.lines = append(m.log.lines, "step")
+	m.log.drops++
+}
+
+// Snapshot covers cycles and oneWay directly, delegates log, and copies the
+// slab member-by-member — deliberately skipping stalled and slab.hot.
+func (m *Machine) Snapshot() *Snap {
+	return &Snap{
+		cycles:  m.cycles,
+		oneWay:  m.oneWay,
+		log:     m.log.snapshot(),
+		slabEnt: copyEntries(m.slab.ents),
+		slabGen: m.slab.gen,
+	}
+}
+
+// Restore reinstates everything Snapshot captured except oneWay (seeded
+// one-side-only violation).
+func (m *Machine) Restore(s *Snap) {
+	m.cycles = s.cycles
+	m.log.restore(s.log)
+	m.slab.ents = copyEntries(s.slabEnt)
+	m.slab.gen = s.slabGen
+}
+
+// copyEntries is the helper hop that proves coverage is interprocedural.
+func copyEntries(src []entry) []entry {
+	return append([]entry(nil), src...)
+}

@@ -1,16 +1,21 @@
 // Package checker is the multichecker driver behind cmd/awglint: it loads
-// packages, applies every registered analyzer, honors `//lint:allow`
-// suppression directives, renders diagnostics deterministically, and can
-// apply suggested fixes in place.
+// packages, applies every registered analyzer (running each analyzer's
+// Requires closure first, with package facts flowing dependency-first
+// across the module DAG), honors `//lint:allow` suppression directives,
+// renders diagnostics deterministically, and can apply suggested fixes in
+// place.
 package checker
 
 import (
+	"encoding/json"
 	"fmt"
+	"go/ast"
 	"go/token"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"awgsim/internal/lint/analysis"
 	"awgsim/internal/lint/load"
@@ -18,6 +23,7 @@ import (
 
 // Finding is one rendered diagnostic.
 type Finding struct {
+	Package  string
 	Position token.Position
 	Analyzer string
 	Message  string
@@ -31,12 +37,14 @@ func (f Finding) String() string {
 }
 
 // directive is one parsed `//lint:allow <analyzer> <reason>` comment. It
-// suppresses diagnostics of the named analyzer on its own line and on the
-// line that follows (covering both trailing-comment and
-// comment-above-statement placement).
+// suppresses diagnostics of the named analyzer on the lines [line, endLine]:
+// its own line plus the full extent of the statement, field, or declaration
+// that starts on its line or the next (so a directive above a multi-line
+// call covers every line of that call, not just the first).
 type directive struct {
 	file     string
 	line     int
+	endLine  int
 	analyzer string
 	reason   string
 	pos      token.Pos
@@ -44,20 +52,54 @@ type directive struct {
 
 // Run loads patterns (from dir, module root when empty), applies the
 // analyzers to every module package matched, and returns the surviving
-// findings in deterministic order. When fix is set, suggested fixes of
-// surviving findings are applied to the source files before returning.
+// findings in deterministic order. Each analyzer's transitive Requires run
+// first; FactBased analyzers in the closure additionally run over every
+// module package in the dependency graph (dependency-first) so their
+// package facts exist before importers are analyzed. When fix is set,
+// suggested fixes of surviving findings are applied to the source files
+// before returning.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, fix bool) ([]Finding, error) {
-	pkgs, err := load.Load(dir, patterns...)
+	roots, graph, err := load.LoadGraph(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+
+	closure := analyzerClosure(analyzers)
 	known := map[string]*analysis.Analyzer{}
-	for _, a := range analyzers {
+	for _, a := range closure {
 		known[a.Name] = a
+	}
+	var factBased []*analysis.Analyzer
+	for _, a := range closure {
+		if a.FactBased {
+			factBased = append(factBased, a)
+		}
+	}
+
+	ex := &executor{
+		results: map[passKey]passResult{},
+		facts:   map[*analysis.Analyzer]map[string]any{},
+	}
+
+	// Dependency-first sweep: give every fact-based analyzer a chance to
+	// export facts for each module package before its importers run.
+	for _, p := range graph {
+		if len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s: type errors: %v", p.PkgPath, p.TypeErrors[0])
+		}
+		for _, a := range factBased {
+			if _, err := ex.run(p, a); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	var findings []Finding
-	for _, p := range pkgs {
+	isRoot := map[*load.Package]bool{}
+	for _, p := range roots {
+		isRoot[p] = true
+	}
+	for _, p := range roots {
 		if p.Standard {
 			continue
 		}
@@ -67,24 +109,17 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, fix bool
 		directives, bad := parseDirectives(p, known)
 		findings = append(findings, bad...)
 		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      p.Fset,
-				Files:     p.Files,
-				Pkg:       p.Types,
-				TypesInfo: p.Info,
+			res, err := ex.run(p, a)
+			if err != nil {
+				return nil, err
 			}
-			var diags []analysis.Diagnostic
-			pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: analyzer %s: %v", p.PkgPath, a.Name, err)
-			}
-			for _, d := range diags {
+			for _, d := range res.diags {
 				pos := p.Fset.Position(d.Pos)
 				if suppressed(directives, a.Name, pos) {
 					continue
 				}
 				findings = append(findings, Finding{
+					Package:  p.PkgPath,
 					Position: pos,
 					Analyzer: a.Name,
 					Message:  d.Message,
@@ -96,6 +131,9 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, fix bool
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
 		if a.Position.Filename != b.Position.Filename {
 			return a.Position.Filename < b.Position.Filename
 		}
@@ -113,6 +151,88 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer, fix bool
 		}
 	}
 	return findings, nil
+}
+
+// analyzerClosure returns the analyzers plus their transitive Requires,
+// dependencies first.
+func analyzerClosure(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	seen := map[*analysis.Analyzer]bool{}
+	var visit func(a *analysis.Analyzer)
+	visit = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		out = append(out, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
+}
+
+// executor memoizes per-(package, analyzer) runs and holds the shared
+// in-memory fact store for the driver invocation.
+type executor struct {
+	results map[passKey]passResult
+	facts   map[*analysis.Analyzer]map[string]any
+}
+
+type passKey struct {
+	pkg *load.Package
+	an  *analysis.Analyzer
+}
+
+type passResult struct {
+	value any
+	diags []analysis.Diagnostic
+}
+
+// run executes one analyzer on one package, running its Requires first and
+// wiring their results and the analyzer's fact store into the pass.
+func (ex *executor) run(p *load.Package, a *analysis.Analyzer) (passResult, error) {
+	key := passKey{p, a}
+	if res, ok := ex.results[key]; ok {
+		return res, nil
+	}
+	resultOf := map[*analysis.Analyzer]any{}
+	for _, req := range a.Requires {
+		res, err := ex.run(p, req)
+		if err != nil {
+			return passResult{}, err
+		}
+		resultOf[req] = res.value
+	}
+	if ex.facts[a] == nil {
+		ex.facts[a] = map[string]any{}
+	}
+	factStore := ex.facts[a]
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.Info,
+		ResultOf:  resultOf,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ImportPackageFact: func(pkgPath string) (any, bool) {
+			f, ok := factStore[pkgPath]
+			return f, ok
+		},
+		ExportPackageFact: func(fact any) { factStore[p.PkgPath] = fact },
+	}
+	value, err := a.Run(pass)
+	if err != nil {
+		return passResult{}, fmt.Errorf("%s: analyzer %s: %v", p.PkgPath, a.Name, err)
+	}
+	res := passResult{value: value, diags: diags}
+	ex.results[key] = res
+	return res, nil
 }
 
 // parseDirectives extracts //lint:allow directives from a package's
@@ -137,41 +257,87 @@ func parseDirectives(p *load.Package, known map[string]*analysis.Analyzer) ([]di
 				pos := p.Fset.Position(c.Pos())
 				fields := strings.Fields(text)
 				if len(fields) == 0 {
-					bad = append(bad, Finding{Position: pos, Analyzer: "lintdirective",
+					bad = append(bad, Finding{Package: p.PkgPath, Position: pos, Analyzer: "lintdirective",
 						Message: "//lint:allow directive missing analyzer name"})
 					continue
 				}
 				if _, ok := known[fields[0]]; !ok {
-					bad = append(bad, Finding{Position: pos, Analyzer: "lintdirective",
+					bad = append(bad, Finding{Package: p.PkgPath, Position: pos, Analyzer: "lintdirective",
 						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q (known: %s)",
 							fields[0], strings.Join(names, ", "))})
 					continue
 				}
 				if len(fields) < 2 {
-					bad = append(bad, Finding{Position: pos, Analyzer: "lintdirective",
+					bad = append(bad, Finding{Package: p.PkgPath, Position: pos, Analyzer: "lintdirective",
 						Message: fmt.Sprintf("//lint:allow %s needs a reason", fields[0])})
 					continue
 				}
 				ds = append(ds, directive{
 					file:     pos.Filename,
 					line:     pos.Line,
+					endLine:  pos.Line + 1,
 					analyzer: fields[0],
 					reason:   strings.Join(fields[1:], " "),
 					pos:      c.Pos(),
 				})
 			}
 		}
+		extendDirectives(p.Fset, f, ds)
 	}
 	return ds, bad
 }
 
+// extendDirectives widens each directive's coverage to the full extent of
+// the outermost statement, struct field, or declaration that begins on the
+// directive's line or the line below it. Without this, a directive above a
+// multi-line call or composite literal would only cover the first line,
+// while analyzers may report at a position further down inside it.
+func extendDirectives(fset *token.FileSet, f *ast.File, ds []directive) {
+	if len(ds) == 0 {
+		return
+	}
+	fileName := fset.Position(f.Pos()).Filename
+	type idx int
+	starts := map[int][]idx{} // start line -> directives it may extend
+	for i := range ds {
+		if ds[i].file != fileName {
+			continue
+		}
+		starts[ds[i].line] = append(starts[ds[i].line], idx(i))
+		starts[ds[i].line+1] = append(starts[ds[i].line+1], idx(i))
+	}
+	if len(starts) == 0 {
+		return
+	}
+	consider := func(n ast.Node) {
+		startLine := fset.Position(n.Pos()).Line
+		targets, ok := starts[startLine]
+		if !ok {
+			return
+		}
+		endLine := fset.Position(n.End()).Line
+		for _, i := range targets {
+			if endLine > ds[i].endLine {
+				ds[i].endLine = endLine
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, *ast.Field:
+			consider(n)
+		}
+		return true
+	})
+}
+
 // suppressed reports whether a directive covers a diagnostic of analyzer at
-// pos: same file, named analyzer, and the diagnostic sits on the
-// directive's line (trailing comment) or the next one (comment above).
+// pos: same file, named analyzer, and the diagnostic's line falls within
+// the directive's extended extent.
 func suppressed(ds []directive, analyzer string, pos token.Position) bool {
 	for _, d := range ds {
 		if d.analyzer == analyzer && d.file == pos.Filename &&
-			(pos.Line == d.line || pos.Line == d.line+1) {
+			pos.Line >= d.line && pos.Line <= d.endLine {
 			return true
 		}
 	}
@@ -230,22 +396,178 @@ func applyFixes(findings []Finding) error {
 	return nil
 }
 
-// Main is the cmd/awglint entry point: parses -fix and package patterns,
+// baselineKey identifies a finding for baseline matching. Line numbers are
+// deliberately excluded so unrelated edits above a known finding don't make
+// it look new; the count per key catches genuine duplicates.
+func baselineKey(f Finding, wd string) string {
+	file := relTo(f.Position.Filename, wd)
+	return f.Package + "|" + file + "|" + f.Analyzer + "|" + f.Message
+}
+
+func relTo(path, wd string) string {
+	if wd == "" {
+		return path
+	}
+	if rel, ok := strings.CutPrefix(path, wd+string(os.PathSeparator)); ok {
+		return rel
+	}
+	return path
+}
+
+// baselineFile is the on-disk baseline format: finding keys to counts.
+type baselineFile struct {
+	Comment  string         `json:"comment,omitempty"`
+	Findings map[string]int `json:"findings"`
+}
+
+// loadBaseline reads a baseline written by -write-baseline.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if bf.Findings == nil {
+		bf.Findings = map[string]int{}
+	}
+	return bf.Findings, nil
+}
+
+// writeBaseline records the findings so later runs fail only on new ones.
+func writeBaseline(path string, findings []Finding, wd string) error {
+	bf := baselineFile{
+		Comment:  "awglint baseline: known findings tolerated by CI; regenerate with awglint -write-baseline",
+		Findings: map[string]int{},
+	}
+	for _, f := range findings {
+		bf.Findings[baselineKey(f, wd)]++
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// filterBaseline drops findings covered by the baseline, consuming counts
+// so N baselined instances tolerate at most N occurrences.
+func filterBaseline(findings []Finding, baseline map[string]int, wd string) []Finding {
+	budget := make(map[string]int, len(baseline))
+	for k, v := range baseline {
+		budget[k] = v
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baselineKey(f, wd)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// jsonFinding is the -json output shape, one object per finding.
+type jsonFinding struct {
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// recordBenchTiming writes the lint wall time into the "tooling" section of
+// the newest trajectory entry in a BENCH_results.json-shaped file.
+func recordBenchTiming(path string, elapsed time.Duration, nFindings int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var entries []map[string]any
+	if uerr := json.Unmarshal(data, &entries); uerr != nil {
+		return fmt.Errorf("%s: %v", path, uerr)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("%s: no trajectory entries", path)
+	}
+	last := entries[len(entries)-1]
+	tooling, _ := last["tooling"].(map[string]any)
+	if tooling == nil {
+		tooling = map[string]any{}
+	}
+	tooling["lint_secs"] = float64(int(elapsed.Seconds()*1000)) / 1000
+	tooling["lint_findings"] = nFindings
+	last["tooling"] = tooling
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// Main is the cmd/awglint entry point: parses flags and package patterns,
 // prints findings to stderr, and exits non-zero when any survive.
 func Main(analyzers ...*analysis.Analyzer) {
 	os.Exit(MainInto(os.Stderr, os.Args[1:], analyzers...))
 }
 
 // MainInto is Main with injectable output and arguments, for testing.
+//
+// Flags: -fix applies suggested fixes; -json emits findings as a JSON
+// array; -baseline FILE tolerates findings recorded in FILE and fails only
+// on new ones; -write-baseline FILE records the current findings and exits
+// zero; -bench-json FILE stamps the lint wall time into FILE's newest
+// trajectory entry (tooling section).
 func MainInto(w io.Writer, args []string, analyzers ...*analysis.Analyzer) int {
 	fix := false
+	asJSON := false
+	baselinePath := ""
+	writeBaselinePath := ""
+	benchJSONPath := ""
 	var patterns []string
-	for _, a := range args {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		stringFlag := func(name string) (string, bool) {
+			if a != "-"+name && a != "--"+name {
+				return "", false
+			}
+			if i+1 >= len(args) {
+				fmt.Fprintf(w, "awglint: -%s needs a file argument\n", name)
+				return "", false
+			}
+			i++
+			return args[i], true
+		}
 		switch {
 		case a == "-fix" || a == "--fix":
 			fix = true
+		case a == "-json" || a == "--json":
+			asJSON = true
+		case a == "-baseline" || a == "--baseline":
+			v, ok := stringFlag("baseline")
+			if !ok {
+				return 2
+			}
+			baselinePath = v
+		case a == "-write-baseline" || a == "--write-baseline":
+			v, ok := stringFlag("write-baseline")
+			if !ok {
+				return 2
+			}
+			writeBaselinePath = v
+		case a == "-bench-json" || a == "--bench-json":
+			v, ok := stringFlag("bench-json")
+			if !ok {
+				return 2
+			}
+			benchJSONPath = v
 		case a == "-h" || a == "--help":
-			fmt.Fprintln(w, "usage: awglint [-fix] [packages]")
+			fmt.Fprintln(w, "usage: awglint [-fix] [-json] [-baseline file] [-write-baseline file] [-bench-json file] [packages]")
 			fmt.Fprintln(w, "analyzers:")
 			for _, an := range analyzers {
 				doc, _, _ := strings.Cut(an.Doc, "\n")
@@ -259,20 +581,63 @@ func MainInto(w io.Writer, args []string, analyzers ...*analysis.Analyzer) int {
 			patterns = append(patterns, a)
 		}
 	}
+
+	start := time.Now() //lint:allow simdeterminism tooling wall-clock for the lint-cost trajectory, not simulator state
 	findings, err := Run("", patterns, analyzers, fix)
+	elapsed := time.Since(start) //lint:allow simdeterminism tooling wall-clock for the lint-cost trajectory, not simulator state
 	if err != nil {
 		fmt.Fprintf(w, "awglint: %v\n", err)
 		return 2
 	}
 	wd, _ := os.Getwd()
-	for _, f := range findings {
-		pos := f.Position
-		if wd != "" {
-			if rel, ok := strings.CutPrefix(pos.Filename, wd+string(os.PathSeparator)); ok {
-				pos.Filename = rel
-			}
+
+	if benchJSONPath != "" {
+		if err := recordBenchTiming(benchJSONPath, elapsed, len(findings)); err != nil {
+			fmt.Fprintf(w, "awglint: recording timing: %v\n", err)
+			return 2
 		}
-		fmt.Fprintf(w, "%s: %s: %s\n", pos, f.Analyzer, f.Message)
+	}
+	if writeBaselinePath != "" {
+		if err := writeBaseline(writeBaselinePath, findings, wd); err != nil {
+			fmt.Fprintf(w, "awglint: writing baseline: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(w, "awglint: baseline with %d finding(s) written to %s\n", len(findings), writeBaselinePath)
+		return 0
+	}
+	if baselinePath != "" {
+		baseline, err := loadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintf(w, "awglint: %v\n", err)
+			return 2
+		}
+		findings = filterBaseline(findings, baseline, wd)
+	}
+
+	if asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Package:  f.Package,
+				File:     relTo(f.Position.Filename, wd),
+				Line:     f.Position.Line,
+				Column:   f.Position.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(w, "awglint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(w, string(data))
+	} else {
+		for _, f := range findings {
+			pos := f.Position
+			pos.Filename = relTo(pos.Filename, wd)
+			fmt.Fprintf(w, "%s: %s: %s\n", pos, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		return 1

@@ -15,3 +15,13 @@ var c = time.Now() //lint:allow nosuchanalyzer a typo must not silently suppress
 var d = time.Now() //lint:allow simdeterminism
 
 var e = time.Now()
+
+//lint:allow simdeterminism covers the whole multi-line initializer below
+var f = []int64{
+	time.Now().UnixNano(),
+	time.Now().UnixNano(),
+}
+
+//lint:allow simdeterminism one blank line breaks adjacency
+
+var g = time.Now()

@@ -1,0 +1,21 @@
+// Package dep is the dependency layer of the interproc framework test:
+// its summaries reach the importing package only through the exported
+// package fact.
+package dep
+
+import "time"
+
+// Counter is mutated by the importing package through helpers here.
+type Counter struct {
+	N    int
+	last int64
+}
+
+// Bump writes Counter.N.
+func Bump(c *Counter) { c.N++ }
+
+// Stamp is nondeterministic: it reads the wall clock.
+func Stamp(c *Counter) { c.last = time.Now().UnixNano() }
+
+// Pure has no effects at all.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,39 @@
+// Package top exercises the summary lattice: a mutually recursive pair
+// (one SCC), cross-package effect composition through dep's fact, field
+// read/write classification, and purity.
+package top
+
+import "awgsim/internal/lint/interproc/testdata/src/ip/dep"
+
+// State carries local fields for read/write classification.
+type State struct {
+	hits  int
+	label string
+	inner nested
+}
+
+type nested struct{ gen uint64 }
+
+// Even and Odd form one strongly connected component; Odd's taint (via
+// dep.Stamp) must surface in Even's summary too.
+func Even(s *State, c *dep.Counter, n int) {
+	if n == 0 {
+		return
+	}
+	s.hits++
+	Odd(s, c, n-1)
+}
+
+// Odd calls into dep, picking up its writes and nondeterminism.
+func Odd(s *State, c *dep.Counter, n int) {
+	dep.Stamp(c)
+	dep.Bump(c)
+	s.inner.gen++
+	Even(s, c, n-1)
+}
+
+// ReadLabel reads State.label as a value without writing anything local.
+func ReadLabel(s *State) string { return s.label }
+
+// Twice is pure: only a pure dep call and locals.
+func Twice(x int) int { return dep.Pure(x) + dep.Pure(x) }

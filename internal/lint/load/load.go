@@ -28,6 +28,7 @@ type Package struct {
 	PkgPath  string
 	Dir      string
 	GoFiles  []string // absolute paths, non-test files only
+	Imports  []string // resolved import paths (ImportMap applied)
 	Standard bool     // GOROOT package
 	Module   bool     // belongs to the module being linted
 
@@ -54,12 +55,26 @@ type listed struct {
 	Standard   bool
 	Module     *struct{ Path string }
 	Error      *struct{ Err string }
+	// DepsErrors carries problems in the dependency cone (go list -e
+	// attaches an import cycle here on the member it emits first, with the
+	// Error field only on a later member — checking just Error would let
+	// type-checking fail on a masked "could not import" instead).
+	DepsErrors []*struct{ Err string }
 }
 
 // Load lists patterns from dir (the module root when empty) and returns the
 // type-checked packages the patterns matched, in deterministic (import
 // path) order. Dependencies are checked too but not returned.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	roots, _, err := LoadGraph(dir, patterns...)
+	return roots, err
+}
+
+// LoadGraph is Load, additionally returning every non-standard package in
+// the dependency graph (roots included) in dependency-first order — the
+// order a facts-based analyzer must visit packages so each import's facts
+// exist before its importers run.
+func LoadGraph(dir string, patterns ...string) (roots, graph []*Package, err error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -70,7 +85,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	cmd.Stdout = &out
 	cmd.Stderr = &errb
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
 	}
 
 	// Decode the JSON stream. go list -deps emits dependencies before
@@ -81,7 +96,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	for dec.More() {
 		var l listed
 		if err := dec.Decode(&l); err != nil {
-			return nil, fmt.Errorf("go list: decoding: %v", err)
+			return nil, nil, fmt.Errorf("go list: decoding: %v", err)
 		}
 		order = append(order, &l)
 		byPath[l.ImportPath] = &l
@@ -92,11 +107,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	// by re-listing without -deps, which is cheap and unambiguous.
 	rootsCmd := exec.Command("go", append([]string{"list", "-e"}, patterns...)...)
 	rootsCmd.Dir = dir
-	rootsOut, err := rootsCmd.Output()
-	roots := map[string]bool{}
-	if err == nil {
+	rootsOut, rootsErr := rootsCmd.Output()
+	rootSet := map[string]bool{}
+	if rootsErr == nil {
 		for _, p := range strings.Fields(string(rootsOut)) {
-			roots[p] = true
+			rootSet[p] = true
 		}
 	}
 
@@ -111,29 +126,33 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			continue
 		}
 		if l.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", l.ImportPath, l.Error.Err)
+			return nil, nil, fmt.Errorf("go list: %s: %s", l.ImportPath, l.Error.Err)
+		}
+		if len(l.DepsErrors) > 0 {
+			return nil, nil, fmt.Errorf("go list: %s: %s", l.ImportPath, l.DepsErrors[0].Err)
 		}
 		p, err := check(fset, l, imp)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		typed[l.ImportPath] = p.Types
 		pkgs[l.ImportPath] = p
-		if roots[l.ImportPath] {
+		if !p.Standard {
+			// `order` is dependency-first, which is exactly the graph order
+			// facts-based analyzers need.
+			graph = append(graph, p)
+		}
+		if rootSet[l.ImportPath] {
 			result = append(result, p)
 		}
 	}
 	if len(result) == 0 {
 		// go list without -deps failed (or matched nothing): fall back to
 		// every non-standard package listed.
-		for _, l := range order {
-			if p := pkgs[l.ImportPath]; p != nil && !p.Standard {
-				result = append(result, p)
-			}
-		}
+		result = append(result, graph...)
 	}
 	sort.Slice(result, func(i, j int) bool { return result[i].PkgPath < result[j].PkgPath })
-	return result, nil
+	return result, graph, nil
 }
 
 // check parses and type-checks one listed package.
@@ -147,6 +166,12 @@ func check(fset *token.FileSet, l *listed, imp *mapImporter) (*Package, error) {
 	}
 	for _, f := range l.GoFiles {
 		p.GoFiles = append(p.GoFiles, filepath.Join(l.Dir, f))
+	}
+	for _, im := range l.Imports {
+		if mapped, ok := l.ImportMap[im]; ok {
+			im = mapped
+		}
+		p.Imports = append(p.Imports, im)
 	}
 	for _, path := range p.GoFiles {
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)

@@ -205,9 +205,9 @@ type SyncMon struct {
 
 	// observe() scratch, reused across calls: a hot barrier's release makes
 	// the wake fan-out fire on every update, so it must not allocate.
-	metScratch  []int32
-	wakeScratch []wakeup
-	clsScratch  []OpClass
+	metScratch  []int32   //lint:allow snapcover reusable observe scratch, dead between calls
+	wakeScratch []wakeup  //lint:allow snapcover reusable observe scratch, dead between calls
+	clsScratch  []OpClass //lint:allow snapcover reusable observe scratch, dead between calls
 }
 
 // wakeup is one pending resume collected during an observe pass; wakes are
