@@ -32,7 +32,10 @@
 // global FIFO-within-a-timestamp guarantee across all three structures.
 package event
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Cycle is an absolute simulated-clock timestamp. The baseline GPU model
 // runs at 2 GHz, so one Cycle is 0.5 ns of simulated time.
@@ -90,7 +93,24 @@ type Engine struct {
 	nearCnt  int   // unconsumed entries in the near wheel
 	farCnt   int   // entries in the far wheel
 
+	// nearOcc is the near wheel's occupancy bitmap: bit i set ⇔ near[i]
+	// holds unconsumed entries. wheelHead finds the next head bucket with
+	// a trailing-zeros scan instead of probing up to 256 buckets — the
+	// wheel is sparse in this model's event mix, so the linear probe was
+	// a measurable share of every fire.
+	//lint:allow snapcover derived wheel geometry; restore rebuilds it while re-placing entries
+	nearOcc [nearSize / 64]uint64
+
 	heap []scheduled // 4-ary min-heap on (at, seq): overflow + below-base
+
+	// heapMinAt/heapMinSeq mirror heap[0]'s ordering key (all-ones
+	// sentinel when the heap is empty). The run loop compares the wheel
+	// head against the heap top once per fired event; the cached key makes
+	// that two engine-local loads instead of chasing the heap slice.
+	//lint:allow snapcover derived heap geometry; restore rebuilds it while re-pushing entries
+	heapMinAt Cycle
+	//lint:allow snapcover derived heap geometry; restore rebuilds it while re-pushing entries
+	heapMinSeq uint64
 
 	free *Task // task free list
 
@@ -104,7 +124,7 @@ type Engine struct {
 
 // New returns an engine positioned at cycle zero with an empty calendar.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{heapMinAt: ^Cycle(0), heapMinSeq: ^uint64(0)}
 }
 
 // Now reports the current simulated cycle.
@@ -121,21 +141,38 @@ func (e *Engine) Pending() int { return e.nearCnt + e.farCnt + len(e.heap) }
 // programming error in the timing model, so it panics rather than silently
 // reordering time.
 func (e *Engine) At(at Cycle, fn func()) {
-	e.schedule(at, scheduled{at: at, fn: fn})
+	e.schedule(at, fn, nil)
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Cycle, fn func()) {
-	e.schedule(e.now+d, scheduled{at: e.now + d, fn: fn})
+	e.schedule(e.now+d, fn, nil)
 }
 
-func (e *Engine) schedule(at Cycle, ev scheduled) {
+// schedule assigns the next seq and files the entry. The near-window case —
+// nearly every After in the model's event mix — is inlined here so the entry
+// is built once, directly in the bucket's append slot, instead of being
+// copied down a schedule→place→add call chain.
+func (e *Engine) schedule(at Cycle, fn func(), task *Task) {
 	if at < e.now {
 		panic(fmt.Sprintf("event: scheduling at cycle %d before now %d", at, e.now))
 	}
 	e.seq++
-	ev.seq = e.seq
-	e.place(ev)
+	if at >= e.nearBase && at-e.nearBase < nearSize {
+		b := &e.near[at&nearMask]
+		if b.pos > 0 && b.pos == len(b.ev) {
+			b.ev = b.ev[:0]
+			b.pos = 0
+		}
+		b.ev = append(b.ev, scheduled{at: at, seq: e.seq, fn: fn, task: task})
+		e.nearOcc[(at&nearMask)>>6] |= 1 << (at & 63)
+		e.nearCnt++
+		if at < e.nearScan {
+			e.nearScan = at
+		}
+		return
+	}
+	e.place(scheduled{at: at, seq: e.seq, fn: fn, task: task})
 }
 
 // place files an entry that already carries its seq into the calendar
@@ -146,6 +183,7 @@ func (e *Engine) place(ev scheduled) {
 	if at >= e.nearBase {
 		if at-e.nearBase < nearSize {
 			e.near[at&nearMask].add(ev)
+			e.nearOcc[(at&nearMask)>>6] |= 1 << (at & 63)
 			e.nearCnt++
 			if at < e.nearScan {
 				e.nearScan = at
@@ -167,15 +205,23 @@ func (e *Engine) place(ev scheduled) {
 func (e *Engine) wheelHead() *bucket {
 	for {
 		if e.nearCnt > 0 {
-			limit := e.nearBase + nearSize
-			for t := e.nearScan; t < limit; t++ {
-				b := &e.near[t&nearMask]
-				if b.pos < len(b.ev) {
-					e.nearScan = t
-					return b
+			// nearBase is 256-aligned, so a cycle's bucket index within
+			// the window is its low byte and the occupancy scan is linear.
+			i := int(e.nearScan - e.nearBase)
+			w := i >> 6
+			word := e.nearOcc[w] & (^uint64(0) << (uint(i) & 63))
+			for {
+				if word != 0 {
+					idx := w<<6 | bits.TrailingZeros64(word)
+					e.nearScan = e.nearBase + Cycle(idx)
+					return &e.near[idx]
 				}
+				w++
+				if w == len(e.nearOcc) {
+					panic("event: near wheel count/content mismatch")
+				}
+				word = e.nearOcc[w]
 			}
-			panic("event: near wheel count/content mismatch")
 		}
 		if e.farCnt == 0 {
 			return nil
@@ -189,6 +235,7 @@ func (e *Engine) wheelHead() *bucket {
 		if n := len(fb.ev); n > 0 {
 			for _, ev := range fb.ev {
 				e.near[ev.at&nearMask].add(ev)
+				e.nearOcc[(ev.at&nearMask)>>6] |= 1 << (ev.at & 63)
 			}
 			fb.ev = fb.ev[:0]
 			e.farCnt -= n
@@ -220,10 +267,15 @@ func (e *Engine) fire(b *bucket) {
 	if b == nil {
 		ev = e.heapPop()
 	} else {
+		// The slot is left as-is rather than zeroed: its fn/task pointers
+		// are overwritten on the bucket's next append cycle, and nothing
+		// reads behind pos.
 		ev = b.ev[b.pos]
-		b.ev[b.pos] = scheduled{}
 		b.pos++
 		e.nearCnt--
+		if b.pos == len(b.ev) {
+			e.nearOcc[(ev.at&nearMask)>>6] &^= 1 << (ev.at & 63)
+		}
 	}
 	e.now = ev.at
 	e.executed++
@@ -267,29 +319,73 @@ func (e *Engine) Step() bool {
 
 // RunUntil fires events in timestamp order until the calendar drains, the
 // next event lies beyond limit, or Stop is called. It returns the number of
-// events fired.
+// events fired. The loop body is peek+fire fused: this is the simulator's
+// innermost loop, and the split version located the head entry twice per
+// event.
 func (e *Engine) RunUntil(limit Cycle) uint64 {
 	e.stopped = false
 	start := e.executed
 	for !e.stopped {
-		b, ok := e.peek()
-		if !ok {
-			break
+		// Inline wheelHead's hit case: consecutive fires usually land in
+		// the occupancy word nearScan points into, and this loop runs once
+		// per event.
+		var wb *bucket
+		if e.nearCnt > 0 {
+			i := int(e.nearScan - e.nearBase)
+			w := i >> 6
+			if word := e.nearOcc[w] & (^uint64(0) << (uint(i) & 63)); word != 0 {
+				idx := w<<6 | bits.TrailingZeros64(word)
+				e.nearScan = e.nearBase + Cycle(idx)
+				wb = &e.near[idx]
+			} else {
+				wb = e.wheelHead()
+			}
+		} else if e.farCnt > 0 {
+			wb = e.wheelHead()
 		}
-		var at Cycle
-		if b == nil {
-			at = e.heap[0].at
+		fromHeap := wb == nil
+		if wb != nil {
+			wv := &wb.ev[wb.pos]
+			if e.heapMinAt < wv.at || (e.heapMinAt == wv.at && e.heapMinSeq < wv.seq) {
+				fromHeap = true
+			}
+		}
+		var ev scheduled
+		if fromHeap {
+			if len(e.heap) == 0 {
+				break
+			}
+			if e.heap[0].at > limit {
+				break
+			}
+			if e.budget != 0 && e.executed >= e.budget {
+				e.budgetHit = true
+				break
+			}
+			ev = e.heapPop()
 		} else {
-			at = b.ev[b.pos].at
+			ev = wb.ev[wb.pos]
+			if ev.at > limit {
+				break
+			}
+			if e.budget != 0 && e.executed >= e.budget {
+				e.budgetHit = true
+				break
+			}
+			wb.pos++
+			e.nearCnt--
+			if wb.pos == len(wb.ev) {
+				e.nearOcc[(ev.at&nearMask)>>6] &^= 1 << (ev.at & 63)
+			}
 		}
-		if at > limit {
-			break
+		e.now = ev.at
+		e.executed++
+		if t := ev.task; t != nil {
+			t.fn(t)
+			e.releaseTask(t)
+		} else {
+			ev.fn()
 		}
-		if e.budget != 0 && e.executed >= e.budget {
-			e.budgetHit = true
-			break
-		}
-		e.fire(b)
 	}
 	return e.executed - start
 }
@@ -333,6 +429,7 @@ func (e *Engine) heapPush(ev scheduled) {
 		i = p
 	}
 	e.heap = h
+	e.heapMinAt, e.heapMinSeq = h[0].at, h[0].seq
 }
 
 func (e *Engine) heapPop() scheduled {
@@ -365,5 +462,16 @@ func (e *Engine) heapPop() scheduled {
 		i = m
 	}
 	e.heap = h
+	e.syncHeapMin()
 	return top
+}
+
+// syncHeapMin refreshes the cached heap-top key after a bulk heap
+// mutation (pop, reset, restore).
+func (e *Engine) syncHeapMin() {
+	if len(e.heap) == 0 {
+		e.heapMinAt, e.heapMinSeq = ^Cycle(0), ^uint64(0)
+		return
+	}
+	e.heapMinAt, e.heapMinSeq = e.heap[0].at, e.heap[0].seq
 }

@@ -275,9 +275,12 @@ func TestTaskOrderingMatchesClosures(t *testing.T) {
 	if a == b || b == c || a == c {
 		t.Fatal("free list handed out the same task twice")
 	}
+	// Recycling clears the pointer-shaped slots (GC + snapshot safety); the
+	// I slots are deliberately left stale — callees read only what their
+	// scheduler wrote.
 	for _, tk := range []*Task{a, b, c} {
-		if tk.Env[0] != nil || tk.I[0] != 0 {
-			t.Fatalf("recycled task not zeroed: %+v", tk)
+		if tk.Env[0] != nil {
+			t.Fatalf("recycled task kept an Env reference: %+v", tk)
 		}
 	}
 }

@@ -132,7 +132,9 @@ func (e *Engine) Restore(s *Snapshot) {
 		e.heap[i] = scheduled{}
 	}
 	e.heap = e.heap[:0]
+	e.syncHeapMin()
 	e.nearCnt, e.farCnt = 0, 0
+	e.nearOcc = [nearSize / 64]uint64{}
 
 	e.now, e.seq, e.executed = s.now, s.seq, s.executed
 	e.budget, e.budgetHit = s.budget, s.budgetHit
@@ -211,6 +213,7 @@ func (e *Engine) AtWithSeq(at Cycle, seq uint64, fn func()) {
 	if at >= e.nearBase {
 		if at-e.nearBase < nearSize {
 			e.near[at&nearMask].insertBySeq(ev)
+			e.nearOcc[(at&nearMask)>>6] |= 1 << (at & 63)
 			e.nearCnt++
 			if at < e.nearScan {
 				e.nearScan = at

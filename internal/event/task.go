@@ -12,8 +12,10 @@ type TaskFunc func(*Task)
 //
 // Lifecycle: obtain a task with Engine.NewTask, fill the slots, and hand it
 // to AtTask/AfterTask. The engine owns it from that point: after the callee
-// returns, the task is zeroed and recycled onto the engine's free list, so
-// the callee must not retain it. A task may be mutated up until it fires —
+// returns, the task's Env slots are cleared and it is recycled onto the
+// engine's free list, so the callee must not retain it. The I slots of a
+// recycled task hold stale values from its previous use — a callee must
+// read only the slots its scheduler wrote. A task may be mutated up until it fires —
 // the atomic pipeline uses this to deposit a bank result into an
 // already-scheduled response task.
 type Task struct {
@@ -24,8 +26,8 @@ type Task struct {
 	I   [6]int64
 }
 
-// NewTask returns a zeroed task from the engine's free list (or a fresh one)
-// with its callee set.
+// NewTask returns a task from the engine's free list (or a fresh one) with
+// its callee set and Env slots nil; see the Task lifecycle note about I.
 func (e *Engine) NewTask(fn TaskFunc) *Task {
 	t := e.free
 	if t == nil {
@@ -41,17 +43,22 @@ func (e *Engine) NewTask(fn TaskFunc) *Task {
 // AtTask schedules t to fire at absolute cycle at. Ordering follows the
 // same (timestamp, scheduling order) rule as At.
 func (e *Engine) AtTask(at Cycle, t *Task) {
-	e.schedule(at, scheduled{at: at, task: t})
+	e.schedule(at, nil, t)
 }
 
 // AfterTask schedules t to fire d cycles from now.
 func (e *Engine) AfterTask(d Cycle, t *Task) {
-	e.schedule(e.now+d, scheduled{at: e.now + d, task: t})
+	e.schedule(e.now+d, nil, t)
 }
 
-// releaseTask zeroes a fired task (dropping its Env references for the GC)
-// and returns it to the free list.
+// releaseTask drops a fired task's Env references (for the GC, and so a
+// reused task never carries a stale *Task slot into a snapshot's pending-
+// reference walk) and returns it to the free list. The I slots are left
+// stale: callees read only the integer slots their scheduler wrote, so
+// clearing 48 bytes per fire bought nothing.
 func (e *Engine) releaseTask(t *Task) {
-	*t = Task{next: e.free}
+	t.fn = nil
+	t.Env = [4]any{}
+	t.next = e.free
 	e.free = t
 }

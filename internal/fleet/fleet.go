@@ -393,7 +393,13 @@ func (f *Fleet) Run() (*Result, error) {
 	if err := f.Shutdown(); err != nil {
 		return nil, err
 	}
-	return f.result(), nil
+	res := f.result()
+	// Every workload is terminal and its checkpoints die with the fleet:
+	// recycle the device machines' buffers for the next fleet in the sweep.
+	for _, w := range f.wls {
+		w.m.ReleaseBuffers()
+	}
+	return res, nil
 }
 
 // result assembles the final Result and runs the end-of-run SLO checks.
@@ -488,13 +494,14 @@ func (f *Fleet) advanceAll(slice event.Cycle) {
 			continue
 		}
 		w.pos += adv
-		if max := event.Cycle(w.m.Config().MaxCycles); max != 0 && w.pos > max {
+		max := w.m.CycleLimit()
+		if max != 0 && w.pos > max {
 			w.pos = max
 		}
 		w.m.RunTo(w.pos)
 		if w.m.Done() || w.m.Deadlocked() || w.m.Engine().BudgetExhausted() ||
 			w.m.Engine().Pending() == 0 ||
-			(w.m.Config().MaxCycles != 0 && w.pos == event.Cycle(w.m.Config().MaxCycles)) {
+			(max != 0 && w.pos == max) {
 			f.finish(w)
 		}
 	}

@@ -1,0 +1,267 @@
+package gpu
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"awgsim/internal/event"
+	"awgsim/internal/mem"
+	"awgsim/internal/prog"
+)
+
+// Inline program-IR execution: a WG whose kernel carries a prog.Program
+// (KernelSpec.IR) runs without a goroutine. Its position is a plain frame —
+// program counter plus register file — that the machine advances directly in
+// the response path: pure IR ops (register arithmetic, branches, geometry
+// reads) execute immediately at zero simulated cost, exactly like the Go
+// code between Device calls on the closure path, and each device op issues
+// the same request the closure path's wgDevice would build, through the same
+// Machine.handle. The two paths therefore produce identical event streams;
+// CI pins this with the dual-mode golden run and the differential fuzzer.
+//
+// The frame is what makes snapshots and migration cheap: where a closure WG
+// must be rebuilt by re-running its program against a logged response stream
+// (Machine.respawnWG), an IR WG's exact position is copied in O(registers).
+
+// maxPureOps bounds the pure ops an interpreter slice may execute between
+// device operations — the backstop against a program whose register loop
+// never issues one (the IR analogue of a zero-delay livelock).
+const maxPureOps = 1 << 22
+
+// irFrame is one WG's resumable interpreter state.
+type irFrame struct {
+	prog *prog.Program
+	pc   int
+	// dst is the register awaiting the in-flight device response (< 0
+	// discards it).
+	dst  int16
+	regs []int64
+	// geom caches the per-WG launch-geometry constants, indexed by
+	// prog.Geom. Derived from immutable WG identity, so snapshots skip it.
+	geom [6]int64
+}
+
+func newIRFrame(p *prog.Program, id, numWGs, wisPerWG, group, groupSize, indexInGroup int) *irFrame {
+	f := &irFrame{prog: p, dst: -1, regs: make([]int64, p.NumRegs)}
+	f.geom[prog.GeomID] = int64(id)
+	f.geom[prog.GeomNumWGs] = int64(numWGs)
+	f.geom[prog.GeomWIsPerWG] = int64(wisPerWG)
+	f.geom[prog.GeomGroup] = int64(group)
+	f.geom[prog.GeomGroupSize] = int64(groupSize)
+	f.geom[prog.GeomIndexInGroup] = int64(indexInGroup)
+	return f
+}
+
+// val evaluates a source operand.
+func (f *irFrame) val(s prog.Src) int64 {
+	if s.Reg >= 0 {
+		return f.regs[s.Reg]
+	}
+	return s.Imm
+}
+
+// addr resolves a pool-index operand to its word address.
+func (f *irFrame) addr(s prog.Src) mem.Addr {
+	i := f.val(s)
+	if i < 0 || i >= int64(len(f.prog.Pool)) {
+		panic(fmt.Sprintf("gpu: IR op at pc %d addresses pool[%d], pool has %d entries", f.pc-1, i, len(f.prog.Pool)))
+	}
+	return mem.Addr(f.prog.Pool[i])
+}
+
+// varOf builds the synchronization variable a memory op addresses; local
+// scope binds to the executing WG's scheduling group.
+func (f *irFrame) varOf(op *prog.Op) Var {
+	if op.Scope == prog.Local {
+		return LocalVar(f.addr(op.A), int(f.geom[prog.GeomGroup]))
+	}
+	return GlobalVar(f.addr(op.A))
+}
+
+// runPure executes pure ops (and skips zero-cycle computes, which the
+// closure path's Device.Compute never issues either) until the next device
+// op or the program's end. It returns the device op to issue — with pc
+// already advanced past it, so resumption continues at the next op — or nil
+// at program end, plus the ops consumed.
+func (f *irFrame) runPure() (*prog.Op, uint64) {
+	code := f.prog.Code
+	n := uint64(0)
+	for f.pc < len(code) {
+		op := &code[f.pc]
+		f.pc++
+		n++
+		if n > maxPureOps {
+			panic(fmt.Sprintf("gpu: IR program executed %d pure ops without a device operation (pc %d)", n, f.pc-1))
+		}
+		switch op.Kind {
+		case prog.OpMov:
+			f.regs[op.Dst] = f.val(op.A)
+		case prog.OpAdd:
+			f.regs[op.Dst] = f.val(op.A) + f.val(op.B)
+		case prog.OpSub:
+			f.regs[op.Dst] = f.val(op.A) - f.val(op.B)
+		case prog.OpMul:
+			f.regs[op.Dst] = f.val(op.A) * f.val(op.B)
+		case prog.OpDiv:
+			if d := f.val(op.B); d != 0 {
+				f.regs[op.Dst] = f.val(op.A) / d
+			} else {
+				f.regs[op.Dst] = 0
+			}
+		case prog.OpMod:
+			if d := f.val(op.B); d != 0 {
+				f.regs[op.Dst] = f.val(op.A) % d
+			} else {
+				f.regs[op.Dst] = 0
+			}
+		case prog.OpGeom:
+			f.regs[op.Dst] = f.geom[op.Geom]
+		case prog.OpJmp:
+			f.pc = int(op.Target)
+		case prog.OpBr:
+			if op.Cmp.Test(f.val(op.A), f.val(op.B)) {
+				f.pc = int(op.Target)
+			}
+		case prog.OpCompute:
+			if f.val(op.A) > 0 {
+				return op, n
+			}
+		default:
+			return op, n
+		}
+	}
+	return nil, n
+}
+
+// useIR reports whether w executes through the inline interpreter.
+func (m *Machine) useIR(w *WG) bool {
+	return w.spec.IR != nil && m.cfg.Exec != ExecGoroutine
+}
+
+// startIRFrame builds w's interpreter frame at program start.
+func (m *Machine) startIRFrame(w *WG) {
+	w.frame = newIRFrame(w.spec.IR, int(w.id), w.spec.NumWGs, w.spec.WIsPerWG, w.home, w.grpSz, w.inGrp)
+}
+
+// advanceIR drives w's frame forward: pure ops execute inline at zero
+// simulated cost, the next device op (or program end) is handed to the
+// machine as the request the closure path's wgDevice would have sent. Runs
+// inside the engine event that delivered the previous response — the inline
+// replacement for the channel rendezvous of Machine.step/receive.
+func (m *Machine) advanceIR(w *WG) {
+	f := w.frame
+	op, n := f.runPure()
+	//lint:allow replaypure interpreter work meter, not simulation state; IR frames restore by copy, never by replay
+	m.irOps += n
+	if op == nil {
+		m.handle(w, request{kind: reqDone})
+		return
+	}
+	f.dst = op.Dst
+	switch op.Kind {
+	case prog.OpCompute:
+		m.handle(w, request{kind: reqCompute, cycles: event.Cycle(f.val(op.A))})
+	case prog.OpLoad:
+		m.handle(w, request{kind: reqLoad, addr: f.addr(op.A)})
+	case prog.OpStore:
+		m.handle(w, request{kind: reqStore, addr: f.addr(op.A), a: f.val(op.B)})
+	case prog.OpAtomicAdd:
+		m.handle(w, request{kind: reqAtomic, v: f.varOf(op), op: OpAdd, a: f.val(op.B)})
+	case prog.OpAtomicExch:
+		m.handle(w, request{kind: reqAtomic, v: f.varOf(op), op: OpExch, a: f.val(op.B)})
+	case prog.OpAtomicCAS:
+		m.handle(w, request{kind: reqAtomic, v: f.varOf(op), op: OpCAS, a: f.val(op.B), b: f.val(op.C)})
+	case prog.OpAtomicLoad:
+		m.handle(w, request{kind: reqAtomic, v: f.varOf(op), op: OpLoad})
+	case prog.OpAtomicStore:
+		m.handle(w, request{kind: reqAtomic, v: f.varOf(op), op: OpStore, a: f.val(op.B)})
+	case prog.OpSyncThreads:
+		m.handle(w, request{kind: reqSyncThreads})
+	case prog.OpAwaitEq:
+		m.handle(w, request{kind: reqAwait, v: f.varOf(op), want: f.val(op.B), hint: WaitHint{Backoff: op.Hint}})
+	case prog.OpAwaitGE:
+		m.handle(w, request{kind: reqAwait, v: f.varOf(op), want: f.val(op.B), cmp: CmpGE})
+	case prog.OpAcquireExch:
+		m.handle(w, request{kind: reqAcquire, v: f.varOf(op), op: OpExch, a: f.val(op.B), want: f.val(op.C), hint: WaitHint{Backoff: op.Hint}})
+	case prog.OpAcquireCAS:
+		m.handle(w, request{kind: reqAcquire, v: f.varOf(op), op: OpCAS, a: f.val(op.B), b: f.val(op.C), want: f.val(op.B)})
+	default:
+		panic(fmt.Sprintf("gpu: IR device op %s not dispatched", op.Kind))
+	}
+}
+
+// ExecIRProgram interprets p against d, one Device call per device op —
+// the compatibility path that runs an IR-only kernel on the goroutine
+// runtime, and the oracle the differential fuzzer diffs the inline
+// interpreter against. Pure-op semantics are shared with the inline path
+// (irFrame.runPure), so the two executions issue identical device-operation
+// sequences.
+func ExecIRProgram(p *prog.Program, d Device) {
+	f := newIRFrame(p, int(d.ID()), d.NumWGs(), d.WIsPerWG(), d.Group(), d.GroupSize(), d.IndexInGroup())
+	hd, hinted := d.(HintedDevice)
+	for {
+		op, _ := f.runPure()
+		if op == nil {
+			return
+		}
+		var ret int64
+		switch op.Kind {
+		case prog.OpCompute:
+			d.Compute(event.Cycle(f.val(op.A)))
+		case prog.OpLoad:
+			ret = d.Load(f.addr(op.A))
+		case prog.OpStore:
+			d.Store(f.addr(op.A), f.val(op.B))
+		case prog.OpAtomicAdd:
+			ret = d.AtomicAdd(f.varOf(op), f.val(op.B))
+		case prog.OpAtomicExch:
+			ret = d.AtomicExch(f.varOf(op), f.val(op.B))
+		case prog.OpAtomicCAS:
+			ret = d.AtomicCAS(f.varOf(op), f.val(op.B), f.val(op.C))
+		case prog.OpAtomicLoad:
+			ret = d.AtomicLoad(f.varOf(op))
+		case prog.OpAtomicStore:
+			d.AtomicStore(f.varOf(op), f.val(op.B))
+		case prog.OpSyncThreads:
+			d.SyncThreads()
+		case prog.OpAwaitEq:
+			if op.Hint && hinted {
+				ret = hd.AwaitEqHint(f.varOf(op), f.val(op.B), WaitHint{Backoff: true})
+			} else {
+				ret = d.AwaitEq(f.varOf(op), f.val(op.B))
+			}
+		case prog.OpAwaitGE:
+			ret = d.AwaitGE(f.varOf(op), f.val(op.B))
+		case prog.OpAcquireExch:
+			if op.Hint && hinted {
+				hd.AcquireExchHint(f.varOf(op), f.val(op.B), f.val(op.C), WaitHint{Backoff: true})
+			} else {
+				d.AcquireExch(f.varOf(op), f.val(op.B), f.val(op.C))
+			}
+		case prog.OpAcquireCAS:
+			d.AcquireCAS(f.varOf(op), f.val(op.B), f.val(op.C))
+		default:
+			panic(fmt.Sprintf("gpu: IR device op %s not dispatched", op.Kind))
+		}
+		if op.Dst >= 0 {
+			f.regs[op.Dst] = ret
+		}
+	}
+}
+
+// Process-wide execution telemetry: how much work ran through the inline
+// interpreter and how many program goroutines the closure fallback spawned.
+// Pure telemetry for the bench trajectory — never part of metrics.Result,
+// so results stay bit-identical across exec modes — and, like sim.Totals,
+// never rewound by snapshot restores.
+var (
+	irOpsInterpreted atomic.Uint64
+	goroutineSpawns  atomic.Uint64
+)
+
+// ExecStats reports the cumulative process-wide execution-path counters:
+// IR ops interpreted inline and WG program goroutines spawned (initial
+// starts plus replay respawns).
+func ExecStats() (opsInterpreted, goroutinesSpawned uint64) {
+	return irOpsInterpreted.Load(), goroutineSpawns.Load()
+}

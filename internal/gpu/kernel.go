@@ -5,6 +5,7 @@ import (
 
 	"awgsim/internal/event"
 	"awgsim/internal/mem"
+	"awgsim/internal/prog"
 )
 
 // Program is the body one work-group executes. It runs on its own goroutine
@@ -15,7 +16,11 @@ type Program func(d Device)
 
 // KernelSpec describes a kernel launch: grid shape, per-WG resource
 // demands (which determine the context size of Figure 5 and the occupancy
-// limits of Section II.D) and the program body.
+// limits of Section II.D) and the program body — a Go closure (Program), a
+// register-machine program (IR), or both. When IR is set, the machine
+// executes it inline under the default exec mode; Program, if also set, is
+// ignored except under Config.Exec == ExecGoroutine, where it is preferred
+// over interpreting the IR through the Device adapter.
 type KernelSpec struct {
 	Name     string
 	NumWGs   int // G in Table 2
@@ -26,6 +31,7 @@ type KernelSpec struct {
 	LDSBytes   int // local data share per WG
 
 	Program Program
+	IR      *prog.Program
 }
 
 // Wavefronts reports how many wavefronts the WG occupies given the
@@ -50,10 +56,25 @@ func (k KernelSpec) validate() error {
 		return fmt.Errorf("gpu: kernel %s launches %d WGs", k.Name, k.NumWGs)
 	case k.WIsPerWG <= 0:
 		return fmt.Errorf("gpu: kernel %s has %d WIs per WG", k.Name, k.WIsPerWG)
-	case k.Program == nil:
+	case k.Program == nil && k.IR == nil:
 		return fmt.Errorf("gpu: kernel %s has no program", k.Name)
 	}
+	if k.IR != nil {
+		if err := k.IR.Validate(); err != nil {
+			return fmt.Errorf("gpu: kernel %s: %w", k.Name, err)
+		}
+	}
 	return nil
+}
+
+// body returns the closure the goroutine path runs: the explicit Program
+// when present, otherwise the IR interpreted against the device.
+func (k *KernelSpec) body() Program {
+	if k.Program != nil {
+		return k.Program
+	}
+	ir := k.IR
+	return func(d Device) { ExecIRProgram(ir, d) }
 }
 
 // kernelRun tracks one kernel's execution on the machine. The primary

@@ -68,6 +68,10 @@ type Machine struct {
 
 	wgWait sync.WaitGroup
 
+	// irOps accumulates inline-interpreted IR ops for ExecStats, flushed to
+	// the package counter at FinishRun.
+	irOps uint64 //lint:allow snapcover host-side telemetry like sim.Totals; restores must not rewind it
+
 	jitterState uint64
 
 	// Snapshot machinery (snapshot.go). snapHooks carries policy-side state
@@ -92,7 +96,7 @@ func NewMachine(cfg Config, memCfg mem.Config, spec *KernelSpec, pol Policy) (*M
 	if pol == nil {
 		return nil, fmt.Errorf("gpu: nil policy")
 	}
-	eng := event.New()
+	eng := event.NewPooled()
 	ms, err := mem.NewSystem(memCfg, eng, cfg.NumCUs)
 	if err != nil {
 		return nil, err
@@ -126,8 +130,6 @@ func NewMachine(cfg Config, memCfg mem.Config, spec *KernelSpec, pol Policy) (*M
 			grpSz: groupSize[groupOf(i)],
 			state: StatePending,
 			cu:    NoCU,
-			req:   make(chan request),
-			resp:  make(chan response),
 		}
 	}
 	primary := &kernelRun{spec: spec, wgs: m.wgs}
@@ -168,8 +170,6 @@ func (m *Machine) InjectKernel(spec *KernelSpec, at event.Cycle, priority int) (
 			inGrp: i / m.cfg.NumCUs,
 			state: StatePending,
 			cu:    NoCU,
-			req:   make(chan request),
-			resp:  make(chan response),
 		}
 		kr.wgs = append(kr.wgs, w)
 	}
@@ -215,6 +215,24 @@ func (m *Machine) Mem() *mem.System { return m.mem }
 
 // Config reports the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// PollOverhead reports the configured busy-wait retry overhead in cycles.
+// Retry loops fire this per attempt; it reads one field where Config()
+// would copy the whole struct.
+func (m *Machine) PollOverhead() event.Cycle { return event.Cycle(m.cfg.PollOverhead) }
+
+// CycleLimit reports the configured per-run cycle cap (0 = none), for
+// harness advance loops that test it every slice.
+func (m *Machine) CycleLimit() event.Cycle { return event.Cycle(m.cfg.MaxCycles) }
+
+// ReleaseBuffers recycles the machine's engine and memory tag arrays into
+// their package pools for the next machine this process builds. It must be
+// the caller's last use of the machine: the engine, the memory system, and
+// any snapshot restore against them are invalid afterward.
+func (m *Machine) ReleaseBuffers() {
+	m.mem.ReleaseBuffers()
+	m.eng.Recycle()
+}
 
 // Spec reports the kernel being run.
 func (m *Machine) Spec() *KernelSpec { return m.spec }
@@ -306,8 +324,9 @@ func (m *Machine) start(w *WG, cu *computeUnit) {
 	m.eng.AtTask(at, t)
 }
 
-// runStartBody fires at a WG's dispatch slot: the program goroutine
-// launches and the machine enters the WG's request loop.
+// runStartBody fires at a WG's dispatch slot: an IR kernel gets its inline
+// interpreter frame and advances immediately; a closure kernel launches its
+// program goroutine and the machine enters the WG's request loop.
 func runStartBody(t *event.Task) {
 	m := t.Env[0].(*Machine)
 	w := t.Env[1].(*WG)
@@ -316,7 +335,26 @@ func runStartBody(t *event.Task) {
 	w.phaseStart = m.eng.Now()
 	m.progress()
 	m.Trace(w, trace.Start)
+	if m.useIR(w) {
+		m.startIRFrame(w)
+		m.advanceIR(w)
+		return
+	}
+	m.spawnBody(w)
+	m.receive(w)
+}
+
+// spawnBody launches w's program goroutine (creating the rendezvous
+// channels on first use — IR WGs never allocate them) and leaves its first
+// request pending for the caller to receive.
+func (m *Machine) spawnBody(w *WG) {
+	if w.req == nil {
+		w.req = make(chan request)
+		w.resp = make(chan response)
+	}
 	dev := &wgDevice{w: w, numWGs: w.spec.NumWGs}
+	body := w.spec.body()
+	goroutineSpawns.Add(1)
 	m.wgWait.Add(1)
 	go func() {
 		defer m.wgWait.Done()
@@ -327,10 +365,9 @@ func runStartBody(t *event.Task) {
 				}
 			}
 		}()
-		w.spec.Program(dev)
+		body(dev)
 		w.req <- request{kind: reqDone}
 	}()
-	m.receive(w)
 }
 
 // runCompute advances w through cycles of computation, re-sampling the
@@ -401,16 +438,30 @@ func (m *Machine) runParked(w *WG) {
 }
 
 // step resumes w's program with a response; if the WG lost residency, the
-// delivery parks until it returns.
+// delivery parks until it returns. An IR WG's frame advances inline in this
+// event; a closure WG's goroutine is resumed over the channel rendezvous,
+// with the value logged (up to the cap) when replay capture is on.
 func (m *Machine) step(w *WG, r response) {
 	if !w.Resident() {
 		w.Park(func() { m.step(w, r) })
 		return
 	}
 	w.respCount++
-	if m.respLogging {
-		w.respLog = append(w.respLog, r.val)
+	if f := w.frame; f != nil {
+		if f.dst >= 0 {
+			f.regs[f.dst] = r.val
+		}
+		m.advanceIR(w)
+		return
 	}
+	if m.respLogging {
+		if len(w.respLog) < m.cfg.respLogCap() {
+			w.respLog = append(w.respLog, r.val)
+		} else {
+			w.respLogCapped = true
+		}
+	}
+	//lint:allow chansend goroutine-fallback response delivery; IR WGs took the frame path above
 	w.resp <- r
 	m.receive(w)
 }
@@ -549,7 +600,13 @@ func (m *Machine) diagnose(reason string) *metrics.Diagnosis {
 		if keys[i].addr != keys[j].addr {
 			return keys[i].addr < keys[j].addr
 		}
-		return keys[i].want < keys[j].want
+		if keys[i].want != keys[j].want {
+			return keys[i].want < keys[j].want
+		}
+		// cmp completes the key: (addr, want) alone ties e.g. a reader's
+		// `>= 0` against a writer's `== 0` on the same lock word, and a tie
+		// leaks map iteration order into the diagnosis.
+		return keys[i].cmp < keys[j].cmp
 	})
 	for _, k := range keys {
 		ids := conds[k]
@@ -659,15 +716,30 @@ func (m *Machine) FinishRun() metrics.Result {
 		w.closePhase(end)
 	}
 	m.abortLiveWGs()
+	irOpsInterpreted.Add(m.irOps)
+	m.irOps = 0
 	return m.result(end)
 }
 
+// DropResponseLogs frees every WG's replay log. The fork planner calls it
+// once a sweep group's members have all finished and no further restore can
+// need the shared prefix's responses.
+func (m *Machine) DropResponseLogs() {
+	for _, w := range m.allWGs {
+		w.respLog = nil
+		w.respLogCapped = false
+	}
+}
+
 // abortLiveWGs unwinds the goroutines of unfinished WGs so the process
-// doesn't leak them after a deadlocked run.
+// doesn't leak them after a deadlocked run. IR WGs have no goroutine to
+// unwind; their frames simply stop being advanced.
 func (m *Machine) abortLiveWGs() {
 	for _, w := range m.allWGs {
 		if w.live {
-			w.resp <- response{abort: true}
+			if w.frame == nil {
+				w.resp <- response{abort: true}
+			}
 			w.live = false
 		}
 	}

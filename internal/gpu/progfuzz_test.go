@@ -1,0 +1,127 @@
+package gpu
+
+import (
+	"encoding/json"
+	"testing"
+
+	"awgsim/internal/mem"
+	"awgsim/internal/prog"
+)
+
+// fuzzVarBase spaces the fuzz programs' shared variables a cache line
+// apart, like the kernel library's allocator.
+const fuzzVarBase = 0x1000
+
+// fuzzProgram decodes data into a valid IR program: a bounded loop whose
+// body mixes pure arithmetic, geometry reads, plain and atomic memory
+// traffic on a small shared-variable table, and intra-WG barriers. The
+// wait/acquire ops are deliberately excluded — a random lock protocol
+// rarely terminates — so every generated program runs to completion and
+// the two exec modes can be compared end-state to end-state.
+func fuzzProgram(data []byte) *prog.Program {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	b := prog.NewBuilder()
+	gvar := func() prog.Mem { return b.GVar(fuzzVarBase + 64*uint64(next()%8)) }
+	lvar := func() prog.Mem { return b.LVar(64 * uint64(next()%4)) }
+	regs := []prog.Src{b.Geom(prog.GeomID), b.Geom(prog.GeomIndexInGroup)}
+	val := func() prog.Src {
+		if n := next(); n%2 == 0 {
+			return regs[int(n/2)%len(regs)]
+		} else {
+			return prog.Imm(int64(n%7) - 3)
+		}
+	}
+	iters := 1 + int64(next()%3)
+	i := b.Let(prog.Imm(0))
+	top := b.Here()
+	steps := len(data)
+	if steps > 48 {
+		steps = 48
+	}
+	for s := 0; s < steps; s++ {
+		switch next() % 13 {
+		case 0:
+			b.Compute(prog.Imm(int64(1 + next()%16)))
+		case 1:
+			regs = append(regs, b.Load(gvar()))
+		case 2:
+			b.Store(gvar(), val())
+		case 3:
+			regs = append(regs, b.AtomicAdd(gvar(), val()))
+		case 4:
+			b.AtomicAddX(gvar(), prog.Imm(int64(next()%5)-2))
+		case 5:
+			regs = append(regs, b.AtomicExch(gvar(), val()))
+		case 6:
+			regs = append(regs, b.AtomicCAS(gvar(), prog.Imm(int64(next()%3)), val()))
+		case 7:
+			regs = append(regs, b.AtomicLoad(gvar()))
+		case 8:
+			b.AtomicStore(gvar(), val())
+		case 9:
+			regs = append(regs, b.Add(val(), val()))
+		case 10:
+			regs = append(regs, b.Mod(val(), val())) // divisor 0 yields 0 by spec
+		case 11:
+			b.SyncThreads()
+		case 12:
+			b.AtomicAddX(lvar(), prog.Imm(1))
+		}
+	}
+	b.ArithTo(prog.OpAdd, i, i, prog.Imm(1))
+	b.Br(prog.LT, i, prog.Imm(iters), top)
+	return b.MustBuild()
+}
+
+// FuzzProgIR differentially tests the inline interpreter against the
+// goroutine runtime: the same random program runs once as an IR frame and
+// once as a closure through the ExecIRProgram oracle, and the two machines
+// must agree on the full metrics.Result and on every shared variable's
+// final value.
+func FuzzProgIR(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23})
+	f.Add([]byte("atomic soup: add exch cas load store"))
+	f.Add([]byte{0xff, 0x00, 0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := fuzzProgram(data)
+		run := func(mode ExecMode) (metricsJSON string, words [8]int64) {
+			cfg := testConfig()
+			cfg.Exec = mode
+			spec := &KernelSpec{
+				Name: "fuzz", NumWGs: 8, WIsPerWG: 64,
+				IR:      p,
+				Program: func(d Device) { ExecIRProgram(p, d) },
+			}
+			m := newTestMachine(t, cfg, spec, nil)
+			res := m.Run()
+			if res.Deadlocked {
+				t.Fatalf("fuzz program deadlocked under %v: %+v", mode, res.Diagnosis)
+			}
+			j, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range words {
+				words[i] = m.Mem().Read(mem.Addr(fuzzVarBase + 64*uint64(i)))
+			}
+			return string(j), words
+		}
+		irRes, irWords := run(ExecIR)
+		gorRes, gorWords := run(ExecGoroutine)
+		if irRes != gorRes {
+			t.Errorf("results diverged:\n  ir:        %s\n  goroutine: %s", irRes, gorRes)
+		}
+		if irWords != gorWords {
+			t.Errorf("final memory diverged:\n  ir:        %v\n  goroutine: %v", irWords, gorWords)
+		}
+	})
+}

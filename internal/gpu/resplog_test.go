@@ -1,0 +1,143 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+
+	"awgsim/internal/mem"
+	"awgsim/internal/prog"
+)
+
+// chattyKernel issues ops device operations, each drawing a response, so a
+// WG's replay log grows by ops entries under response logging.
+func chattyKernel(ops int) *KernelSpec {
+	return &KernelSpec{
+		Name: "chatty", NumWGs: 2, WIsPerWG: 64,
+		Program: func(d Device) {
+			for i := 0; i < ops; i++ {
+				d.Load(mem.Addr(uint64(8 * i)))
+			}
+		},
+	}
+}
+
+// chattyIR is chattyKernel's register-machine form: a bounded load loop.
+func chattyIR(ops int) *KernelSpec {
+	b := prog.NewBuilder()
+	addrs := make([]uint64, ops)
+	for i := range addrs {
+		addrs[i] = uint64(8 * i)
+	}
+	base := b.AddrRange(addrs)
+	i := b.Let(prog.Imm(0))
+	top := b.Here()
+	idx := b.Add(prog.Imm(base), i)
+	b.Load(prog.At(idx, prog.Global))
+	b.ArithTo(prog.OpAdd, i, i, prog.Imm(1))
+	b.Br(prog.LT, i, prog.Imm(int64(ops)), top)
+	return &KernelSpec{Name: "chatty-ir", NumWGs: 2, WIsPerWG: 64, IR: b.MustBuild()}
+}
+
+// TestRespLogCap pins the replay-log bound: with logging on, a WG's log
+// stops growing at Config.RespLogCap, the truncation is recorded, and a
+// restore that would need the dropped responses fails loudly instead of
+// silently replaying a truncated program position.
+func TestRespLogCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = ExecGoroutine
+	cfg.RespLogCap = 8
+	m := newTestMachine(t, cfg, chattyKernel(40), nil)
+	m.SetResponseLogging(true)
+	m.Prepare()
+	m.RunTo(m.CycleLimit())
+	for _, w := range m.allWGs {
+		if len(w.respLog) != cfg.RespLogCap {
+			t.Fatalf("%v respLog has %d entries, want capped at %d", w, len(w.respLog), cfg.RespLogCap)
+		}
+		if !w.respLogCapped {
+			t.Fatalf("%v dropped responses without recording respLogCapped", w)
+		}
+	}
+	res := m.FinishRun()
+	if res.Deadlocked {
+		t.Fatalf("capped run did not complete: %+v", res)
+	}
+	// Teardown: dropping the logs releases every entry and the cap marker.
+	m.DropResponseLogs()
+	for _, w := range m.allWGs {
+		if w.respLog != nil || w.respLogCapped {
+			t.Fatalf("%v kept respLog state after DropResponseLogs", w)
+		}
+	}
+}
+
+// TestRespLogCapRestoreFails pins the loud-failure contract: restoring a
+// snapshot whose WGs are past the cap panics naming RespLogCap rather than
+// respawning a goroutine from a truncated log.
+func TestRespLogCapRestoreFails(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = ExecGoroutine
+	cfg.RespLogCap = 4
+	m := newTestMachine(t, cfg, chattyKernel(400), nil)
+	m.SetResponseLogging(true)
+	m.Prepare()
+	// Run deep enough that every WG has consumed more responses than the
+	// log retains, then snapshot that position.
+	for m.Engine().Now() < m.CycleLimit() {
+		m.RunTo(m.Engine().Now() + 1000)
+		past := 0
+		for _, w := range m.allWGs {
+			if w.respCount > cfg.RespLogCap {
+				past++
+			}
+		}
+		if past == len(m.allWGs) {
+			break
+		}
+	}
+	snap := m.Snapshot()
+	// Advance past the snapshot so the restore cannot keep the live
+	// goroutines in place and must replay from the (truncated) log.
+	m.RunTo(m.Engine().Now() + 2000)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Restore replayed a truncated response log without panicking")
+		}
+		if !strings.Contains(fmtRecover(r), "RespLogCap") {
+			t.Fatalf("restore panic does not name the cap: %v", r)
+		}
+	}()
+	m.Restore(snap)
+}
+
+func fmtRecover(r any) string {
+	if s, ok := r.(string); ok {
+		return s
+	}
+	if e, ok := r.(error); ok {
+		return e.Error()
+	}
+	return ""
+}
+
+// TestIRNeverAllocatesRespLog is the allocation regression the tentpole
+// promises: an IR WG's position is its frame, so even with response logging
+// enabled end to end it must never allocate a replay log.
+func TestIRNeverAllocatesRespLog(t *testing.T) {
+	cfg := testConfig()
+	m := newTestMachine(t, cfg, chattyIR(40), nil)
+	m.SetResponseLogging(true)
+	res := m.Run()
+	if res.Deadlocked {
+		t.Fatalf("IR run did not complete: %+v", res)
+	}
+	for _, w := range m.allWGs {
+		if w.frame == nil {
+			t.Fatalf("%v ran without a frame under ExecIR", w)
+		}
+		if w.respLog != nil || w.respLogCapped {
+			t.Fatalf("%v allocated a respLog (%d entries) on the IR path", w, len(w.respLog))
+		}
+	}
+}

@@ -16,8 +16,12 @@ import (
 // every WG's runtime state, the Table 2 characterization, and — via the
 // registered snapshot hooks — the attached policy's monitor hardware.
 //
-// The one thing a copy cannot capture is a WG's program counter: programs
-// are ordinary Go code running on goroutines. Snapshots instead exploit the
+// An IR WG's program position is plain data — its interpreter frame (pc,
+// pending destination register, register file) — so snapshots copy it and
+// restores copy it back, in O(registers).
+//
+// The closure fallback is the one case a copy cannot capture: programs are
+// ordinary Go code running on goroutines. Snapshots instead exploit the
 // machine's determinism. Between events every live program goroutine is
 // quiescent — blocked in <-w.resp having had its latest request consumed —
 // so a WG's position is fully determined by how many responses it has
@@ -94,6 +98,9 @@ func (s *Snapshot) Bytes() int {
 	n += 16 * len(s.cus)
 	for i := range s.wgs {
 		n += 160 + 8*len(s.wgs[i].parked)
+		if f := s.wgs[i].frame; f != nil {
+			n += 40 + 8*len(f.regs)
+		}
 	}
 	n += 24 * len(s.atomics.charAddrs)
 	for i := range s.atomics.charSlab {
@@ -127,11 +134,20 @@ type cuSnap struct {
 	wgSlots, wfSlots, ldsFree int
 }
 
+// frameSnap records an IR WG's interpreter position: everything mutable in
+// its frame (the program and geometry constants are launch-immutable).
+type frameSnap struct {
+	pc   int
+	dst  int16
+	regs []int64
+}
+
 // wgSnap records one WG's mutable runtime state. The resident maps are not
 // saved: w.cu mirrors residency exactly (host sets it, release clears it),
 // so Restore rebuilds each CU's resident set from the WGs — no map
 // iteration anywhere in the snapshot path.
 type wgSnap struct {
+	frame          *frameSnap
 	state          WGState
 	cu             CUID
 	parked         []func()
@@ -236,6 +252,9 @@ func (m *Machine) Snapshot() *Snapshot {
 			respCount:      w.respCount,
 			live:           w.live,
 		}
+		if f := w.frame; f != nil {
+			ws.frame = &frameSnap{pc: f.pc, dst: f.dst, regs: append([]int64(nil), f.regs...)}
+		}
 		if ep, ok := w.PolicyData.(EpisodeState); ok {
 			ws.epState = ep.SaveEpisode()
 		}
@@ -304,9 +323,27 @@ func (m *Machine) Restore(s *Snapshot) {
 	}
 }
 
-// restoreWG rewinds one WG, rebuilding its program goroutine when the saved
+// restoreWG rewinds one WG: an IR WG's interpreter frame is copied back
+// into place, a closure WG's program goroutine is rebuilt when the saved
 // position differs from the live one.
 func (m *Machine) restoreWG(w *WG, ws *wgSnap) {
+	if ws.frame != nil || w.frame != nil {
+		// IR path: the program position is plain data. A snapshot from
+		// before the WG started has no frame; runStartBody recreates it.
+		if ws.frame == nil {
+			w.frame = nil
+		} else {
+			if w.frame == nil {
+				m.startIRFrame(w)
+			}
+			w.frame.pc = ws.frame.pc
+			w.frame.dst = ws.frame.dst
+			copy(w.frame.regs, ws.frame.regs)
+		}
+		w.live = ws.live
+		m.restoreWGFields(w, ws)
+		return
+	}
 	// Goroutine surgery first: a live goroutine already at the saved
 	// position (first restore after a snapshot) is kept; anything else is
 	// aborted and, if the snapshot had a live goroutine, replayed back into
@@ -316,6 +353,14 @@ func (m *Machine) restoreWG(w *WG, ws *wgSnap) {
 		w.resp <- response{abort: true}
 		w.live = false
 	}
+	m.restoreWGFields(w, ws)
+	if ws.live && !inPlace {
+		m.respawnWG(w, ws.respCount)
+	}
+}
+
+// restoreWGFields copies the path-independent WG fields from a snapshot.
+func (m *Machine) restoreWGFields(w *WG, ws *wgSnap) {
 	w.state = ws.state
 	w.cu = ws.cu
 	w.parked = append(w.parked[:0], ws.parked...)
@@ -341,9 +386,6 @@ func (m *Machine) restoreWG(w *WG, ws *wgSnap) {
 		w.respLog = w.respLog[:ws.respCount]
 	}
 	w.respCount = ws.respCount
-	if ws.live && !inPlace {
-		m.respawnWG(w, ws.respCount)
-	}
 }
 
 // respawnWG rebuilds w's program goroutine at position k: the deterministic
@@ -353,23 +395,14 @@ func (m *Machine) restoreWG(w *WG, ws *wgSnap) {
 // blocked awaiting the response event already on the restored calendar.
 func (m *Machine) respawnWG(w *WG, k int) {
 	if len(w.respLog) < k {
-		panic(fmt.Sprintf("gpu: restoring %v needs %d logged responses, have %d; enable response logging before the run", w, k, len(w.respLog)))
+		capped := ""
+		if w.respLogCapped {
+			capped = fmt.Sprintf(" (log dropped entries at the %d-response RespLogCap)", m.cfg.respLogCap())
+		}
+		panic(fmt.Sprintf("gpu: restoring %v needs %d logged responses, have %d%s; enable response logging before the run", w, k, len(w.respLog), capped))
 	}
-	dev := &wgDevice{w: w, numWGs: w.spec.NumWGs}
 	w.live = true
-	m.wgWait.Add(1)
-	go func() {
-		defer m.wgWait.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(abortSentinel); !ok {
-					panic(r)
-				}
-			}
-		}()
-		w.spec.Program(dev)
-		w.req <- request{kind: reqDone}
-	}()
+	m.spawnBody(w)
 	for i := 0; i < k; i++ {
 		<-w.req
 		w.resp <- response{val: w.respLog[i]}

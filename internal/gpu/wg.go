@@ -58,6 +58,13 @@ type WG struct {
 	state WGState
 	cu    CUID
 
+	// frame is the inline interpreter's resumable position for an IR kernel
+	// (nil on the closure path). Where it is set, the channels below stay
+	// nil: the WG has no goroutine, and step advances the frame directly.
+	frame *irFrame
+
+	// req/resp are the closure path's rendezvous channels, created lazily at
+	// first goroutine spawn so IR WGs never allocate them.
 	req  chan request
 	resp chan response
 
@@ -102,6 +109,10 @@ type WG struct {
 	// Machine.restoreWG).
 	respLog   []int64
 	respCount int
+	// respLogCapped records that responses were dropped once respLog hit the
+	// configured cap; a restore that would need them fails loudly instead of
+	// replaying a truncated log.
+	respLogCapped bool
 	// live is true while the program goroutine exists. Machine-owned (never
 	// written from the WG goroutine, so snapshots read it race-free): set
 	// when the goroutine is (re)spawned, cleared at reqDone or abort.

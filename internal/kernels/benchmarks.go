@@ -169,6 +169,8 @@ func spinMutexBench(p Params, name string, scope gpu.Scope, backoff bool, vgprs,
 	bar := CentralBarrier{Count: alloc.Word()}
 
 	spec := baseSpec(p, name, vgprs, lds)
+	spec.IR = spinMutexIR(p, scope, backoff, locks, counters, bar.Count)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		idx := 0
 		if scope == gpu.Local {
@@ -223,6 +225,8 @@ func ticketMutexBench(p Params, name string, scope gpu.Scope, vgprs, lds int) (*
 	bar := CentralBarrier{Count: alloc.Word()}
 
 	spec := baseSpec(p, name, vgprs, lds)
+	spec.IR = ticketMutexIR(p, scope, tails, servings, counters, bar.Count)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		idx := 0
 		if scope == gpu.Local {
@@ -281,17 +285,23 @@ func queueMutexBench(p Params, name string, scope gpu.Scope, vgprs, lds int) (*B
 	}
 	locks := make([]QueueMutex, n)
 	counters := alloc.Words(n)
+	tailAddrs := make([]mem.Addr, n)
+	allSlots := make([][]mem.Addr, n)
 	for i := range locks {
 		slotAddrs := alloc.Words(holders + 1)
 		slots := make([]gpu.Var, len(slotAddrs))
 		for j, a := range slotAddrs {
 			slots[j] = scopedVar(a, scope, i)
 		}
-		locks[i] = QueueMutex{Tail: scopedVar(alloc.Word(), scope, i), Slots: slots}
+		tailAddrs[i] = alloc.Word()
+		allSlots[i] = slotAddrs
+		locks[i] = QueueMutex{Tail: scopedVar(tailAddrs[i], scope, i), Slots: slots}
 	}
 	bar := CentralBarrier{Count: alloc.Word()}
 
 	spec := baseSpec(p, name, vgprs, lds)
+	spec.IR = queueMutexIR(p, scope, tailAddrs, allSlots, counters, bar.Count)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		idx := 0
 		if scope == gpu.Local {
@@ -351,6 +361,8 @@ func treeBarrierBench(p Params, name string, localScope gpu.Scope, vgprs, lds in
 	perWG := alloc.Words(p.NumWGs) // per-round progress tokens
 
 	spec := baseSpec(p, name, vgprs, lds)
+	spec.IR = treeBarrierIR(p, localScope, bar.LocalCount, bar.GlobalCount, perWG)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		me := perWG[int(d.ID())]
 		for i := 1; i <= p.Iters; i++ {
@@ -399,6 +411,8 @@ func lfTreeBarrierBench(p Params, name string, localScope gpu.Scope, vgprs, lds 
 	perWG := alloc.Words(p.NumWGs)
 
 	spec := baseSpec(p, name, vgprs, lds)
+	spec.IR = lfTreeBarrierIR(p, localScope, bar.WGFlag, bar.GroupFlag, perWG)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		me := perWG[int(d.ID())]
 		for i := 1; i <= p.Iters; i++ {
@@ -434,6 +448,8 @@ func hashTableBench(p Params) (*Benchmark, error) {
 	bar := CentralBarrier{Count: alloc.Word()}
 
 	spec := baseSpec(p, "HashTable", 14, 1<<10)
+	spec.IR = hashTableIR(p, buckets, locks, counts, bar.Count)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		for i := 0; i < p.Iters; i++ {
 			d.Compute(skewedWork(p, int(d.ID()), i))
@@ -481,6 +497,8 @@ func bankAccountBench(p Params) (*Benchmark, error) {
 		return TicketMutex{Tail: gpu.GlobalVar(tails[i]), Serving: gpu.GlobalVar(servings[i])}
 	}
 	spec := baseSpec(p, "BankAccount", 18, 1<<10)
+	spec.IR = bankAccountIR(p, accounts, tails, servings, balances, bar.Count)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		for i := 0; i < p.Iters; i++ {
 			d.Compute(skewedWork(p, int(d.ID()), i))

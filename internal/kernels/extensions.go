@@ -97,6 +97,8 @@ func semaphoreBench(p Params) (*Benchmark, error) {
 	bar := CentralBarrier{Count: alloc.Word()}
 
 	spec := baseSpec(p, "Semaphore", 12, 1<<10)
+	spec.IR = semaphoreIR(p, sem.V.Addr, inside, entered, maxSeen, bar.Count)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		for i := 0; i < p.Iters; i++ {
 			d.Compute(skewedWork(p, int(d.ID()), i))
@@ -152,6 +154,8 @@ func rwLockBench(p Params) (*Benchmark, error) {
 	bar := CentralBarrier{Count: alloc.Word()}
 
 	spec := baseSpec(p, "RWLock", 14, 1<<10)
+	spec.IR = rwLockIR(p, lock.V.Addr, a, b, writes, torn, bar.Count)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		for i := 0; i < p.Iters; i++ {
 			d.Compute(skewedWork(p, int(d.ID()), i))

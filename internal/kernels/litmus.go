@@ -364,6 +364,8 @@ func litmusBench(l Litmus, p Params) (*Benchmark, error) {
 	finals, complete := l.FairFinal()
 
 	spec := baseSpec(p, l.Encode(), 8, 0)
+	spec.IR = litmusIR(l, vars)
+	//lint:allow progclosure goroutine-mode oracle for the IR above; dual-mode golden pins their equivalence
 	spec.Program = func(d gpu.Device) {
 		for _, op := range l.Progs[int(d.ID())] {
 			switch op.Kind {

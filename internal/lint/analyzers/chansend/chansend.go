@@ -1,0 +1,87 @@
+// Package chansend keeps channel rendezvous off the machine's hot paths.
+//
+// The inline IR interpreter removed the two-channel rendezvous (request
+// out, response in) that every device operation used to pay; the only
+// channel traffic left in the machine belongs to the goroutine fallback —
+// delivering responses to closure WGs and the replay/abort surgery around
+// snapshot restores. A new channel send reachable from the per-event
+// machine path would reintroduce a goroutine hand-off per operation (and,
+// under the IR default, likely block forever against a WG that has no
+// goroutine), so the analyzer flags every send statement in any function
+// reachable from the hot roots. Sends that are the goroutine fallback
+// itself carry a reasoned `//lint:allow chansend <reason>` directive.
+//
+// Reachability reuses the ipsummary call graph: a root's composed summary
+// carries its transitive Calls set, including functions referenced only as
+// values (pooled-task callees run on the hot path too). Reporting stays
+// same-package: the machine package owns its channels.
+package chansend
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"awgsim/internal/lint/analysis"
+	"awgsim/internal/lint/interproc"
+)
+
+// Analyzer is the chansend analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "chansend",
+	Doc:      "forbid channel sends reachable from machine hot paths without a reasoned allow",
+	Requires: []*analysis.Analyzer{interproc.Analyzer},
+	Run:      run,
+}
+
+// machinePackages are the package-path suffixes owning the machine's event
+// callbacks (suffix-matched so testdata stand-ins qualify).
+var machinePackages = []string{"/gpu"}
+
+// hotRoots are the per-event entry points: the dispatch/advance pair each
+// response event runs (handle, advanceIR), the rendezvous loop of the
+// goroutine path (step, receive), and the pooled atomic task bodies that
+// fire once per atomic (runAtomicApply, runAtomicRespFunc).
+var hotRoots = map[string]bool{
+	"handle":            true,
+	"step":              true,
+	"receive":           true,
+	"advanceIR":         true,
+	"runAtomicApply":    true,
+	"runAtomicRespFunc": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ip := pass.ResultOf[interproc.Analyzer].(*interproc.Result)
+	reachable := ip.Reachable(func(obj *types.Func, fd *ast.FuncDecl) bool {
+		return fd != nil && fd.Body != nil && hotRoots[fd.Name.Name]
+	})
+	for _, obj := range ip.Order {
+		fd := ip.Decls[obj]
+		if !reachable[obj] || fd == nil || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if send, ok := n.(*ast.SendStmt); ok {
+				pass.ReportRangef(send,
+					"channel send in %s, reachable from a machine hot path; the IR path is rendezvous-free — justify a goroutine-fallback send with //lint:allow chansend <reason>",
+					name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func inScope(path string) bool {
+	for _, s := range machinePackages {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package chansend_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/chansend"
+)
+
+func TestChanSend(t *testing.T) {
+	analysistest.Run(t, chansend.Analyzer, "gpu")
+}

@@ -1,0 +1,35 @@
+// Package gpu is a stand-in whose path suffix puts it in chansend's
+// scope; the method names below match the machine's hot roots, so the
+// sends they reach — directly, through a callee, or through a function
+// value — are the ones the analyzer must flag.
+package gpu
+
+type machine struct {
+	resp chan int
+	fn   func()
+}
+
+// handle is a hot root: the send it reaches through deliver is reported
+// at the send site, named after the enclosing function.
+func (m *machine) handle() {
+	m.deliver(1)
+}
+
+func (m *machine) deliver(v int) {
+	m.resp <- v // want `channel send in deliver, reachable from a machine hot path`
+}
+
+// step only references sendTask as a value; the summary's transitive
+// Calls set still carries it, so its send is hot.
+func (m *machine) step() {
+	m.fn = m.sendTask
+}
+
+func (m *machine) sendTask() {
+	m.resp <- 0 // want `channel send in sendTask, reachable from a machine hot path`
+}
+
+// coldSend is unreachable from every hot root: its send stays quiet.
+func coldSend(ch chan int) {
+	ch <- 2
+}

@@ -1,0 +1,104 @@
+// Package progclosure keeps the kernel library on the program IR.
+//
+// The inline interpreter executes IR kernels with no goroutine and no
+// channel rendezvous; a kernel defined only as a Go closure (gpu.Program)
+// forces every run back onto the goroutine runtime — per-WG goroutines,
+// response logging for snapshot replay, and the respawn machinery that the
+// IR path made unnecessary. The analyzer flags every closure Program
+// definition in internal/kernels so a new kernel is ported to the IR by
+// default, and a deliberate closure — the goroutine-mode oracle paired with
+// an IR body, or a harness-only kernel exercising the fallback — carries a
+// reasoned `//lint:allow progclosure <reason>` directive.
+//
+// A definition is an assignment or composite-literal field giving a
+// gpu.Program a non-nil value. Clearing a Program (= nil) is not a
+// definition and stays unflagged.
+package progclosure
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"awgsim/internal/lint/analysis"
+)
+
+// Analyzer is the progclosure analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "progclosure",
+	Doc:  "require kernels to define program IR; closure Program definitions need a reasoned allow",
+	Run:  run,
+}
+
+// kernelPackages are the package-path suffixes holding the kernel library.
+// Suffix matching keeps the analyzer testable from analysistest testdata
+// packages of the same name.
+var kernelPackages = []string{"/kernels"}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if isNilExpr(n.Rhs[i]) {
+						continue
+					}
+					if t := pass.TypesInfo.TypeOf(lhs); isGPUProgram(t) {
+						report(pass, n.Rhs[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				key, ok := n.Key.(*ast.Ident)
+				if !ok || isNilExpr(n.Value) {
+					return true
+				}
+				// In a struct composite literal the key identifier resolves
+				// to the field object, whose type is authoritative.
+				if obj, ok := pass.TypesInfo.Uses[key].(*types.Var); ok && isGPUProgram(obj.Type()) {
+					report(pass, n.Value)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func inScope(path string) bool {
+	for _, s := range kernelPackages {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isGPUProgram reports whether t is the named function type Program of a
+// gpu package (suffix-matched for testdata stand-ins).
+func isGPUProgram(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Program" || named.Obj().Pkg() == nil {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Signature); !ok {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "/gpu") || named.Obj().Pkg().Path() == "gpu"
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func report(pass *analysis.Pass, at ast.Expr) {
+	pass.ReportRangef(at,
+		"closure Program definition in the kernel library; port the kernel to the prog IR, or justify the goroutine fallback with //lint:allow progclosure <reason>")
+}

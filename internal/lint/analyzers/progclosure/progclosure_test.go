@@ -1,0 +1,12 @@
+package progclosure_test
+
+import (
+	"testing"
+
+	"awgsim/internal/lint/analysistest"
+	"awgsim/internal/lint/analyzers/progclosure"
+)
+
+func TestProgClosure(t *testing.T) {
+	analysistest.Run(t, progclosure.Analyzer, "kernels")
+}

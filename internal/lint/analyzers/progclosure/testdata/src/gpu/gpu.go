@@ -1,0 +1,18 @@
+// Package gpu is a stand-in: its package-path suffix matches the real
+// machine package, so the named Program type below is what progclosure
+// treats as a closure kernel body.
+package gpu
+
+// Device is the operation surface a closure Program runs against.
+type Device interface{ ID() int }
+
+// Program is the goroutine-mode closure form of a kernel body.
+type Program func(d Device)
+
+// KernelSpec mirrors the real spec: a kernel may carry a closure Program,
+// an IR body, or both.
+type KernelSpec struct {
+	Name    string
+	Program Program
+	IR      []int
+}

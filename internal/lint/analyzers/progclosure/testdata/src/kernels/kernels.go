@@ -1,0 +1,36 @@
+// Package kernels seeds Program definitions the analyzer must flag and
+// the forms it must leave alone: clearing a Program with nil and touching
+// the spec's other fields.
+package kernels
+
+import "awgsim/internal/lint/analyzers/progclosure/testdata/src/gpu"
+
+func literalClosure() *gpu.KernelSpec {
+	return &gpu.KernelSpec{
+		Name:    "lit",
+		Program: func(d gpu.Device) { _ = d.ID() }, // want `closure Program definition in the kernel library`
+	}
+}
+
+func assignedClosure(spec *gpu.KernelSpec) {
+	spec.Program = func(d gpu.Device) {} // want `closure Program definition in the kernel library`
+}
+
+func namedBody(d gpu.Device) {}
+
+// A named function is still the goroutine path: flagged like a closure.
+func assignedNamed(spec *gpu.KernelSpec) {
+	spec.Program = namedBody // want `closure Program definition in the kernel library`
+}
+
+func localVar() gpu.Program {
+	var p gpu.Program
+	p = func(d gpu.Device) {} // want `closure Program definition in the kernel library`
+	return p
+}
+
+func cleared(spec *gpu.KernelSpec) {
+	spec.Program = nil // clearing is not a definition
+	spec.Name = "renamed"
+	spec.IR = []int{1}
+}

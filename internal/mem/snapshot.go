@@ -111,29 +111,50 @@ func (sn *wordStoreSnap) bytes() int {
 	return 13*sn.dir.Len() + 24*len(sn.pages)
 }
 
-// cacheSnap is a point-in-time copy of one tag array.
+// cacheSnap is a point-in-time copy of one tag array. Only touched sets
+// are stored (every other line is zero — see Cache.touch); full keeps the
+// live array's length so bytes() reports the same footprint a dense copy
+// would, because that figure feeds simulated migration-pause costs.
 type cacheSnap struct {
-	lines        []cacheLine
+	full         int
+	ways         int
+	sets         []int32     // touched set indices, in first-touch order
+	lines        []cacheLine // len(sets)*ways entries, same order
 	hits, misses uint64
 	pinnedCount  int
 	lruClock     uint64
 }
 
 func (c *Cache) snapshot() *cacheSnap {
-	return &cacheSnap{
-		lines:       append([]cacheLine(nil), c.lines...),
+	sn := &cacheSnap{
+		full:        len(c.lines),
+		ways:        c.ways,
+		sets:        append([]int32(nil), c.touched...),
+		lines:       make([]cacheLine, 0, len(c.touched)*c.ways),
 		hits:        c.hits,
 		misses:      c.misses,
 		pinnedCount: c.pinnedCount,
 		lruClock:    c.lruClock,
 	}
+	for _, s := range c.touched {
+		sn.lines = append(sn.lines, c.set(int(s))...)
+	}
+	return sn
 }
 
 func (c *Cache) restore(sn *cacheSnap) {
-	copy(c.lines, sn.lines)
+	for _, s := range c.touched {
+		clear(c.set(int(s)))
+		c.touchedSet[s] = false
+	}
+	c.touched = append(c.touched[:0], sn.sets...)
+	for i, s := range sn.sets {
+		c.touchedSet[s] = true
+		copy(c.set(int(s)), sn.lines[i*sn.ways:(i+1)*sn.ways])
+	}
 	c.hits, c.misses = sn.hits, sn.misses
 	c.pinnedCount = sn.pinnedCount
 	c.lruClock = sn.lruClock
 }
 
-func (sn *cacheSnap) bytes() int { return 32 * len(sn.lines) }
+func (sn *cacheSnap) bytes() int { return 32 * sn.full }

@@ -408,12 +408,12 @@ func (p *Monitor) resolve(w *gpu.WG, ep *episode, ret int64, reg syncmon.Registe
 			// instead of waiting.
 			ep.earlyWake = false
 			ep.justWoken = true
-			p.m.Engine().After(event.Cycle(p.m.Config().PollOverhead), ep.retry)
+			p.m.Engine().After(p.m.PollOverhead(), ep.retry)
 			return
 		}
 		p.enterWait(w, ep)
 	default: // Rejected (log full) — Mesa semantics: keep retrying.
-		p.m.Engine().After(event.Cycle(p.m.Config().PollOverhead)+64, ep.retry)
+		p.m.Engine().After(p.m.PollOverhead()+64, ep.retry)
 	}
 }
 

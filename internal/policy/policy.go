@@ -69,7 +69,7 @@ func (b *Baseline) Wait(w *gpu.WG, v gpu.Var, op gpu.AtomicOp, a, b2, want int64
 			done(ret)
 			return
 		}
-		delay := event.Cycle(b.m.Config().PollOverhead)
+		delay := b.m.PollOverhead()
 		if hint.Backoff {
 			delay += ep.backoff + event.Cycle(b.m.Jitter(uint64(ep.backoff/4+1)))
 			if ep.backoff*2 <= b.BackoffMax {

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"awgsim/internal/gpu"
+	"awgsim/internal/kernels"
+)
+
+// TestDualModeBitIdentity is the regression the tentpole rests on: the
+// inline IR interpreter and the goroutine runtime are two executions of the
+// same machine, so every benchmark in the registry — the paper suite, the
+// apps, and the extensions — must produce an identical metrics.Result
+// under both exec modes, across every policy and a couple of seeds.
+//
+// Results are compared through their JSON encoding, the same canonical
+// form the golden record byte-compares, so a deadlocked run's Diagnosis is
+// held to the contract too instead of being skipped for being a pointer.
+func TestDualModeBitIdentity(t *testing.T) {
+	disableDedupe(t)
+	benches := append(append(kernels.All(), kernels.Apps()...), kernels.Extensions()...)
+	seeds := []uint64{0, 11}
+	var jobs []Job
+	for _, b := range benches {
+		for _, p := range Policies() {
+			for _, s := range seeds {
+				oversub := p != "Baseline" // Baseline deadlocks oversubscribed; keep it resident-only
+				jobs = append(jobs, Job{
+					Key:    fmt.Sprintf("%s/%s/seed%d", b, p, s),
+					Config: quickConfig(b, p, oversub, s),
+				})
+			}
+		}
+	}
+	// quickConfig leaves Exec zero, which resolves to the ExecIR default;
+	// the second leg pins the goroutine runtime explicitly.
+	irOut := RunAll(jobs)
+	gorJobs := make([]Job, len(jobs))
+	for i, j := range jobs {
+		j.Config.GPU.Exec = gpu.ExecGoroutine
+		gorJobs[i] = j
+	}
+	gorOut := RunAll(gorJobs)
+	for i := range jobs {
+		if err := irOut[i].Err; err != nil {
+			t.Fatalf("%s: IR run failed: %v", jobs[i].Key, err)
+		}
+		if err := gorOut[i].Err; err != nil {
+			t.Fatalf("%s: goroutine run failed: %v", jobs[i].Key, err)
+		}
+		ir, err := json.Marshal(irOut[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gor, err := json.Marshal(gorOut[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ir) != string(gor) {
+			t.Errorf("%s: exec modes diverged:\n  ir:        %s\n  goroutine: %s",
+				jobs[i].Key, ir, gor)
+		}
+	}
+}

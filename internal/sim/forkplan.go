@@ -6,6 +6,7 @@ import (
 
 	"awgsim/internal/event"
 	"awgsim/internal/fault"
+	"awgsim/internal/gpu"
 	"awgsim/internal/metrics"
 )
 
@@ -32,6 +33,7 @@ import (
 var (
 	forkOff              atomic.Bool
 	snapshotEveryDefault atomic.Uint64
+	execModeDefault      atomic.Int64
 
 	forkForks       atomic.Uint64
 	forkCyclesSaved atomic.Uint64
@@ -47,6 +49,15 @@ func SetForking(on bool) { forkOff.Store(!on) }
 // stall diagnosis. Non-zero values disable prefix forking implicitly (the
 // ring changes the event stream, so such runs are not fork-eligible).
 func SetSnapshotEvery(n uint64) { snapshotEveryDefault.Store(n) }
+
+// SetExecMode sets the process-wide default for gpu.Config.Exec: whether
+// kernels carrying a program IR run on the machine's inline interpreter
+// (gpu.ExecIR, the default) or fall back to the goroutine runtime
+// (gpu.ExecGoroutine; awgexp -exec=goroutine selects it). The mode flows
+// through the config into the run-cache fingerprint, so the two execution
+// paths never share cached results even though their outputs are pinned
+// identical by the dual-mode golden check.
+func SetExecMode(m gpu.ExecMode) { execModeDefault.Store(int64(m)) }
 
 // ForkStats reports the fork planner's cumulative counters since process
 // start (or the last ResetForkStats): members completed by forking, prefix
@@ -191,6 +202,7 @@ func (g *forkGroup) run(jobs []Job, out []Outcome) {
 	m.RunTo(stop)
 	if m.Deadlocked() || m.Engine().BudgetExhausted() {
 		m.FinishRun() // discard; tears the prefix goroutines down
+		m.ReleaseBuffers()
 		cold()
 		return
 	}
@@ -240,6 +252,13 @@ func (g *forkGroup) run(jobs []Job, out []Outcome) {
 	if needTeardown {
 		m.FinishRun() // discard: every member replayed from the cache
 	}
+	// The prefix's response logs (goroutine-mode members only; IR frames
+	// never log) have served their respawn purpose — drop them so a pooled
+	// worker machine does not retain O(prefix) memory per group.
+	m.DropResponseLogs()
+	// The group is done with its machine (and with snap, which dies here),
+	// so its buffers can seed the next group's construction.
+	m.ReleaseBuffers()
 }
 
 // claimFork claims key in the run cache, or waits out a prior claim.

@@ -101,5 +101,6 @@ func runJob(j Job) Outcome {
 	}
 	o.Result, o.Err = s.Run()
 	o.InjectedLatency = s.InjectedLatency()
+	s.Release()
 	return o
 }

@@ -194,6 +194,7 @@ func runDeduped(cfg Config) (metrics.Result, error) {
 		return metrics.Result{}, err
 	}
 	e.res, e.err = s.Run()
+	s.Release()
 	e.ran = true
 	cacheMu.Lock()
 	e.completed = true
@@ -207,5 +208,7 @@ func runFresh(cfg Config) (metrics.Result, error) {
 	if err != nil {
 		return metrics.Result{}, err
 	}
-	return s.Run()
+	res, rerr := s.Run()
+	s.Release()
+	return res, rerr
 }

@@ -107,6 +107,12 @@ func (c *Config) fill() error {
 		// ring changes the engine's event stream.
 		c.GPU.SnapshotEvery = snapshotEveryDefault.Load()
 	}
+	if c.GPU.Exec == gpu.ExecIR {
+		// The process-wide default (awgexp -exec) flows through the config
+		// like SnapshotEvery above; ExecIR is the zero value, so an explicit
+		// ExecGoroutine in cfg.GPU always wins.
+		c.GPU.Exec = gpu.ExecMode(execModeDefault.Load())
+	}
 	if c.Mem.LineSize == 0 {
 		c.Mem = mem.DefaultConfig()
 	}
@@ -232,6 +238,12 @@ func newSession(cfg Config, reserve int) (*Session, error) {
 // Machine exposes the constructed machine for bespoke pre-run setup and
 // post-run inspection (memory reads, extra injections).
 func (s *Session) Machine() *gpu.Machine { return s.m }
+
+// Release recycles the session machine's large buffers (engine, cache tag
+// arrays) into their package pools. Internal one-shot paths call it after
+// the result is extracted; the session, its machine, and snapshots taken
+// from the machine must not be used afterward.
+func (s *Session) Release() { s.m.ReleaseBuffers() }
 
 // InjectedLatency reports the injected kernel's launch-to-finish latency
 // (0 when nothing was injected or it did not finish).

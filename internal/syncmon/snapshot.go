@@ -100,9 +100,14 @@ func (sn *storeSnap) bytes() int {
 		24*len(sn.wnodes) + 24*sn.byAddr.Len()
 }
 
-// logSnap is a point-in-time copy of the Monitor Log ring.
+// logSnap is a point-in-time copy of the Monitor Log ring. Only the
+// occupied span [head, head+size) is stored, unwrapped: every ring reader
+// stays inside that span, so slots outside it are dead storage a restore
+// can leave stale. ringCap keeps the live ring's capacity so bytes()
+// reports the same footprint a dense copy would.
 type logSnap struct {
-	entries []LogEntry
+	ringCap int
+	entries []LogEntry // size entries, unwrapped from head
 	dead    []bool
 	head    int
 	size    int
@@ -111,20 +116,32 @@ type logSnap struct {
 }
 
 func (l *MonitorLog) snapshot() logSnap {
-	return logSnap{
-		entries: append([]LogEntry(nil), l.entries...),
-		dead:    append([]bool(nil), l.dead...),
+	sn := logSnap{
+		ringCap: len(l.entries),
 		head:    l.head,
 		size:    l.size,
 		live:    l.live,
 		maxLive: l.maxLive,
 	}
+	if l.size > 0 {
+		sn.entries = make([]LogEntry, l.size)
+		sn.dead = make([]bool, l.size)
+		for k := 0; k < l.size; k++ {
+			idx := (l.head + k) % len(l.entries)
+			sn.entries[k] = l.entries[idx]
+			sn.dead[k] = l.dead[idx]
+		}
+	}
+	return sn
 }
 
 func (l *MonitorLog) restore(sn *logSnap) {
-	copy(l.entries, sn.entries)
-	copy(l.dead, sn.dead)
+	for k := 0; k < sn.size; k++ {
+		idx := (sn.head + k) % len(l.entries)
+		l.entries[idx] = sn.entries[k]
+		l.dead[idx] = sn.dead[k]
+	}
 	l.head, l.size, l.live, l.maxLive = sn.head, sn.size, sn.live, sn.maxLive
 }
 
-func (sn *logSnap) bytes() int { return 33*len(sn.entries) + 24 }
+func (sn *logSnap) bytes() int { return 33*sn.ringCap + 24 }
